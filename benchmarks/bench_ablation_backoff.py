@@ -1,0 +1,41 @@
+"""Ablation — exponential back-off (Algorithm 1 line 17).
+
+The back-off exists to cut scheduling overhead once every container is
+completing.  The bench measures how many Algorithm 1 executions it saves
+on the fixed 3-job schedule while leaving completion times untouched.
+"""
+
+from _render import run_once
+
+from repro.config import FlowConConfig, SimulationConfig
+from repro.core.policy import FlowConPolicy
+from repro.experiments.report import render_header, render_table
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import fixed_three_job
+
+
+def _run_pair():
+    cfg = SimulationConfig(seed=1, trace=False)
+    on_policy = FlowConPolicy(FlowConConfig(backoff_enabled=True))
+    off_policy = FlowConPolicy(FlowConConfig(backoff_enabled=False))
+    on = run_scenario(fixed_three_job(), on_policy, cfg)
+    off = run_scenario(fixed_three_job(), off_policy, cfg)
+    return on, off, on_policy.executor, off_policy.executor
+
+
+def test_ablation_backoff(benchmark):
+    on, off, ex_on, ex_off = run_once(benchmark, _run_pair)
+    print("\n" + render_header("Ablation: exponential back-off"))
+    print(
+        render_table(
+            ["variant", "Algorithm-1 runs", "back-offs", "makespan"],
+            [
+                ["backoff ON", ex_on.runs, ex_on.backoffs, on.makespan],
+                ["backoff OFF", ex_off.runs, ex_off.backoffs, off.makespan],
+            ],
+        )
+    )
+    saved = ex_off.runs - ex_on.runs
+    print(f"\nscheduler executions saved by back-off: {saved}")
+    assert ex_on.runs < ex_off.runs
+    assert abs(on.makespan - off.makespan) / off.makespan < 0.05

@@ -1,0 +1,49 @@
+"""Ablation — Algorithm 2's listeners (§4.3).
+
+Without listeners FlowCon only reacts to pool changes at the next
+periodic tick; a job arriving right after a tick waits up to a full
+interval.  The bench quantifies the reaction-latency cost on the
+late-arriving MNIST (TensorFlow).
+"""
+
+from _render import run_once
+
+from repro.config import FlowConConfig, SimulationConfig
+from repro.core.policy import FlowConPolicy
+from repro.experiments.report import render_header, render_table
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import fixed_three_job
+
+
+def _run_variants():
+    cfg = SimulationConfig(seed=1, trace=False)
+    results = {}
+    for label, fc_cfg in [
+        ("listeners (event-driven)", FlowConConfig(itval=60.0)),
+        ("listeners (1s polling)", FlowConConfig(
+            itval=60.0, event_driven_listeners=False,
+            listener_poll_interval=1.0)),
+        ("no listeners", FlowConConfig(itval=60.0, listeners_enabled=False)),
+    ]:
+        results[label] = run_scenario(
+            fixed_three_job(), FlowConPolicy(fc_cfg), cfg
+        )
+    return results
+
+
+def test_ablation_listeners(benchmark):
+    results = run_once(benchmark, _run_variants)
+    print("\n" + render_header("Ablation: Algorithm 2 listeners (itval=60s)"))
+    print(
+        render_table(
+            ["variant", "MNIST-TF completion", "makespan"],
+            [
+                [label, r.completion_times()["Job-3"], r.makespan]
+                for label, r in results.items()
+            ],
+        )
+    )
+    event = results["listeners (event-driven)"].completion_times()["Job-3"]
+    none = results["no listeners"].completion_times()["Job-3"]
+    print(f"\nreaction-latency cost without listeners: {none - event:+.1f}s")
+    assert event < none

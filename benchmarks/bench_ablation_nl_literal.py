@@ -1,0 +1,53 @@
+"""Ablation — literal line-26 NL shares vs the prose's "more resources".
+
+The literal reading (``nl_full_limit=False``) sets NL limits to
+``G/ΣG``; young jobs training small-scale metrics are then starved by
+whichever job trains the largest-scale metric (DESIGN.md §2 notes 1–2).
+The default gives NL members the full limit, per Fig. 7's behaviour.
+"""
+
+from _render import run_once
+
+from repro.config import FlowConConfig, SimulationConfig
+from repro.core.policy import FlowConPolicy
+from repro.experiments.report import render_header, render_table
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import fixed_three_job
+
+
+def _run_pair():
+    cfg = SimulationConfig(seed=1, trace=False)
+    default = run_scenario(
+        fixed_three_job(),
+        FlowConPolicy(FlowConConfig(nl_full_limit=True)),
+        cfg,
+    )
+    literal = run_scenario(
+        fixed_three_job(),
+        FlowConPolicy(FlowConConfig(nl_full_limit=False)),
+        cfg,
+    )
+    return default, literal
+
+
+def test_ablation_nl_literal(benchmark):
+    default, literal = run_once(benchmark, _run_pair)
+    print("\n" + render_header("Ablation: NL limit semantics"))
+    rows = []
+    for label, run in (
+        ("NL → limit 1 (default)", default),
+        ("NL → G/ΣG (literal line 26)", literal),
+    ):
+        ct = run.completion_times()
+        rows.append([label, ct["Job-1"], ct["Job-2"], ct["Job-3"],
+                     run.makespan])
+    print(
+        render_table(
+            ["variant", "VAE", "MNIST-P", "MNIST-T", "makespan"], rows
+        )
+    )
+    # The literal mode must not beat the default for the late small job.
+    assert (
+        literal.completion_times()["Job-3"]
+        >= default.completion_times()["Job-3"] * 0.98
+    )

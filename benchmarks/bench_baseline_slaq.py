@@ -1,0 +1,46 @@
+"""Extension — FlowCon vs the SLAQ-like quality-driven baseline (§6).
+
+The paper's critique of SLAQ is reaction latency ("fails to allocate the
+resources at real-time").  The bench compares both across scheduling
+epochs on the fixed 3-job schedule.
+"""
+
+from _render import run_once
+
+from repro.baselines.slaq import SlaqLikePolicy
+from repro.config import SimulationConfig
+from repro.core.policy import FlowConPolicy
+from repro.experiments.report import render_header, render_table
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import fixed_three_job
+
+
+def _run_all():
+    cfg = SimulationConfig(seed=1, trace=False)
+    results = {"FlowCon-5%-20": run_scenario(
+        fixed_three_job(), FlowConPolicy(), cfg)}
+    for epoch in (20.0, 60.0):
+        results[f"SLAQ-like-{epoch:g}s"] = run_scenario(
+            fixed_three_job(), SlaqLikePolicy(epoch=epoch), cfg
+        )
+    return results
+
+
+def test_baseline_slaq(benchmark):
+    results = run_once(benchmark, _run_all)
+    print("\n" + render_header("Extension: FlowCon vs SLAQ-like scheduling"))
+    print(
+        render_table(
+            ["policy", "VAE", "MNIST-P", "MNIST-T", "makespan"],
+            [
+                [name, r.completion_times()["Job-1"],
+                 r.completion_times()["Job-2"],
+                 r.completion_times()["Job-3"], r.makespan]
+                for name, r in results.items()
+            ],
+        )
+    )
+    fc = results["FlowCon-5%-20"].completion_times()["Job-3"]
+    slaq_slow = results["SLAQ-like-60s"].completion_times()["Job-3"]
+    print(f"\nlate-arrival advantage vs 60s-epoch SLAQ: {slaq_slow - fc:+.1f}s")
+    assert fc < slaq_slow

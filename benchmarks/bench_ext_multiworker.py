@@ -1,0 +1,50 @@
+"""Extension — worker-side scaling (§3.1's design argument).
+
+"With this design, the overhead of running FlowCon is distributed over
+the whole cluster."  The bench runs the same 12-job workload on 1, 2 and
+3 workers, each with its own FlowCon executor, and reports makespan plus
+per-worker Algorithm-1 counts.
+"""
+
+import numpy as np
+from _render import run_once
+
+from repro.config import SimulationConfig
+from repro.core.policy import FlowConPolicy
+from repro.experiments.multiworker import run_multi_worker
+from repro.experiments.report import render_header, render_table
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _run_all():
+    gen = WorkloadGenerator(np.random.default_rng(5))
+    specs = gen.random_mix(12, window=(0.0, 150.0))
+    results = {}
+    for n in (1, 2, 3):
+        results[n] = run_multi_worker(
+            specs,
+            FlowConPolicy,
+            n_workers=n,
+            sim_config=SimulationConfig(seed=5, trace=False),
+        )
+    return results
+
+
+def test_ext_multiworker_scaling(benchmark):
+    results = run_once(benchmark, _run_all)
+    print("\n" + render_header("Extension: 12 FlowCon jobs on 1-3 workers"))
+    rows = []
+    for n, result in results.items():
+        runs = [p.executor.runs for p in result.policies.values()]
+        rows.append([n, round(result.makespan, 1), str(runs)])
+    print(render_table(
+        ["workers", "makespan", "Algorithm-1 runs per worker"], rows
+    ))
+    ms1 = results[1].makespan
+    ms3 = results[3].makespan
+    runs1 = [p.executor.runs for p in results[1].policies.values()]
+    runs3 = [p.executor.runs for p in results[3].policies.values()]
+    print(f"\n3-worker speedup over 1 worker: {ms1 / ms3:.2f}x; "
+          f"per-worker scheduling work {runs1[0]} → ~{int(np.mean(runs3))}")
+    assert ms3 < ms1          # more capacity ⇒ shorter makespan
+    assert max(runs3) < runs1[0]  # scheduling work is distributed

@@ -1,0 +1,43 @@
+"""Extension — scheduling-overhead accounting (§5 Remark).
+
+"Since itval indicates the frequency at which Algorithm 1 runs, it is
+proportional to the overhead."  The bench counts Algorithm 1 executions,
+listener interrupts, back-offs and ``docker update`` calls across itval
+settings.
+"""
+
+from _render import run_once
+
+from repro.analysis.overhead import overhead_study
+from repro.config import SimulationConfig
+from repro.experiments.report import render_header, render_table
+from repro.experiments.scenarios import fixed_three_job
+
+
+def test_ext_overhead(benchmark):
+    samples = run_once(
+        benchmark,
+        lambda: overhead_study(
+            fixed_three_job(),
+            itvals=[10.0, 20.0, 40.0, 60.0],
+            sim_config=SimulationConfig(seed=1, trace=False),
+        ),
+    )
+    print("\n" + render_header("Extension: scheduling-overhead accounting"))
+    print(render_table(
+        ["itval", "backoff", "alg-1 runs", "runs/100s", "interrupts",
+         "backoffs", "limit updates", "makespan"],
+        [
+            [s.itval, "on" if s.backoff_enabled else "off",
+             s.algorithm_runs, round(s.runs_per_100s, 2),
+             s.listener_interrupts, s.backoffs, s.limit_updates,
+             round(s.makespan, 1)]
+            for s in samples
+        ],
+    ))
+    on = {s.itval: s for s in samples if s.backoff_enabled}
+    off = {s.itval: s for s in samples if not s.backoff_enabled}
+    saved = sum(off[iv].algorithm_runs - on[iv].algorithm_runs for iv in on)
+    print(f"\ntotal Algorithm-1 executions saved by back-off: {saved}")
+    assert on[10.0].algorithm_runs > on[60.0].algorithm_runs
+    assert saved > 0

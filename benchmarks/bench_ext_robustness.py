@@ -1,0 +1,49 @@
+"""Extension — seed robustness of the Fig. 12 headline.
+
+The paper reports one run of the 10-job experiment.  This bench re-draws
+the random universe 8 times and checks the headline shape (most jobs win,
+makespan preserved) is a property of the system, not of one lucky seed.
+"""
+
+from _render import run_once
+
+from repro.analysis.robustness import seed_study
+from repro.config import SimulationConfig
+from repro.experiments.report import render_header, render_table
+from repro.experiments.scenarios import random_ten_job
+
+
+def test_ext_robustness_ten_jobs(benchmark):
+    study = run_once(
+        benchmark,
+        lambda: seed_study(
+            random_ten_job,
+            seeds=list(range(8)),
+            sim_template=SimulationConfig(trace=False),
+        ),
+    )
+    print("\n" + render_header(
+        "Extension: Fig. 12 headline across 8 random universes"
+    ))
+    rows = [
+        [seed, f"{wr:.0%}", round(ms, 2), round(best, 1), round(worst, 1)]
+        for seed, wr, ms, best, worst in zip(
+            study.seeds,
+            study.win_rates,
+            study.makespan_reductions,
+            study.best_wins,
+            study.worst_losses,
+        )
+    ]
+    print(render_table(
+        ["seed", "win rate", "makespan Δ%", "best win %", "worst loss %"],
+        rows,
+    ))
+    agg = study.summary()
+    print(f"\nmean win rate {agg['mean_win_rate']:.0%} "
+          f"(min {agg['min_win_rate']:.0%}); "
+          f"mean makespan Δ {agg['mean_makespan_reduction']:+.2f}%; "
+          f"worst single-job loss {agg['worst_loss']:+.1f}%")
+    assert agg["mean_win_rate"] >= 0.7
+    assert agg["worst_makespan_reduction"] > -2.0
+    assert agg["worst_loss"] > -15.0

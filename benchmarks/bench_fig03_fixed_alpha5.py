@@ -1,0 +1,24 @@
+"""Fig. 3 — fixed 3-job schedule, α = 5 %, itval ∈ {20…60} s vs NA.
+
+Paper: makespans 386.1/372.4/384.8/389.0/388.1 vs 394.0 s (NA) —
+FlowCon improves makespan 1–5 %; MNIST (TensorFlow) finishes much faster
+(e.g. 31.9 % at itval = 30).
+"""
+
+from _render import print_sweep, run_once
+
+from repro.experiments.figures import fig3_fixed_alpha5
+
+
+def test_fig03_fixed_alpha5(benchmark):
+    data = run_once(benchmark, lambda: fig3_fixed_alpha5(seed=1))
+    print_sweep(
+        "Figure 3: completion time, alpha=5%, interval sweep",
+        data,
+        "FlowCon makespan ≤ NA across intervals; MNIST-TF cut 20-30%",
+    )
+    na = data.makespan["NA"]
+    for label, ms in data.makespan.items():
+        if label != "NA":
+            assert ms <= na * 1.01
+            assert data.reduction_vs_na(label, "Job-3") > 5.0

@@ -1,0 +1,25 @@
+"""Fig. 4 — fixed 3-job schedule, α = 10 %, itval ∈ {20…60} s vs NA.
+
+Paper: same trend as Fig. 3; Table 2's first column derives from this
+sweep (reductions 26.2 %, 32.4 %, 14.3 %, 15.3 %, 3.1 % for itval
+20…60 — shrinking as the interval grows).
+"""
+
+from _render import print_sweep, run_once
+
+from repro.experiments.figures import fig4_fixed_alpha10
+
+
+def test_fig04_fixed_alpha10(benchmark):
+    data = run_once(benchmark, lambda: fig4_fixed_alpha10(seed=1))
+    print_sweep(
+        "Figure 4: completion time, alpha=10%, interval sweep",
+        data,
+        "reductions positive everywhere, shrinking with larger itval",
+    )
+    reductions = [
+        data.reduction_vs_na(label, "Job-3")
+        for label in ("20", "30", "40", "50", "60")
+    ]
+    assert all(r > 0 for r in reductions)
+    assert reductions[0] >= reductions[-1]  # paper's itval trend

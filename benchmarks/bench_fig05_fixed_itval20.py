@@ -1,0 +1,24 @@
+"""Fig. 5 — fixed 3-job schedule, itval = 20 s, α ∈ {1…15 %} vs NA.
+
+Paper: FlowCon improves makespan 1–4 % across all α; Table 2's second
+column derives from this sweep (reductions 32.1 %…19.8 %).
+"""
+
+from _render import print_sweep, run_once
+
+from repro.experiments.figures import fig5_fixed_itval20
+
+
+def test_fig05_fixed_itval20(benchmark):
+    data = run_once(benchmark, lambda: fig5_fixed_itval20(seed=1))
+    print_sweep(
+        "Figure 5: completion time, itval=20s, alpha sweep",
+        data,
+        "all alphas beat NA on MNIST-TF; makespan within ±1% of NA",
+    )
+    na = data.makespan["NA"]
+    for label in data.completion:
+        if label == "NA":
+            continue
+        assert data.reduction_vs_na(label, "Job-3") > 0.0
+        assert data.makespan[label] <= na * 1.01

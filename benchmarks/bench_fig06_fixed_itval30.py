@@ -1,0 +1,20 @@
+"""Fig. 6 — fixed 3-job schedule, itval = 30 s, α ∈ {1…15 %} vs NA.
+
+Paper: same trend as Fig. 5 at the coarser interval.
+"""
+
+from _render import print_sweep, run_once
+
+from repro.experiments.figures import fig6_fixed_itval30
+
+
+def test_fig06_fixed_itval30(benchmark):
+    data = run_once(benchmark, lambda: fig6_fixed_itval30(seed=1))
+    print_sweep(
+        "Figure 6: completion time, itval=30s, alpha sweep",
+        data,
+        "same trend as Fig. 5 at itval=30",
+    )
+    for label in data.completion:
+        if label != "NA":
+            assert data.reduction_vs_na(label, "Job-3") > 0.0

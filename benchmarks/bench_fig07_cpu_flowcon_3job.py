@@ -1,0 +1,22 @@
+"""Fig. 7 — CPU usage under FlowCon (α = 5 %, itval = 20), fixed 3-job.
+
+Paper: FlowCon dynamically sets per-job upper limits; the converged VAE
+is pinned to 0.25 while the fresh MNIST jobs run near the remaining
+capacity.
+"""
+
+from _render import print_traces, run_once
+
+from repro.experiments.figures import fig7_cpu_flowcon_3job
+
+
+def test_fig07_cpu_flowcon_3job(benchmark):
+    data = run_once(benchmark, lambda: fig7_cpu_flowcon_3job(seed=1))
+    print_traces(
+        "Figure 7: CPU usage, FlowCon (alpha=5%, itval=20), 3 jobs",
+        data,
+        "converged VAE pinned near the CL floor; young jobs absorb the rest",
+    )
+    times, limits = data.limits["Job-1"]
+    late = limits[times > 150.0]
+    assert late.size and late.min() <= 0.26

@@ -1,0 +1,26 @@
+"""Fig. 8 — CPU usage under NA (default platform), fixed 3-job.
+
+Paper: "the system equally distributes CPU resources among active jobs"
+— e.g. from 40–80 s the VAE and MNIST-P usages are approximately equal.
+"""
+
+import numpy as np
+from _render import print_traces, run_once
+
+from repro.experiments.figures import fig8_cpu_na_3job
+
+
+def test_fig08_cpu_na_3job(benchmark):
+    data = run_once(benchmark, lambda: fig8_cpu_na_3job(seed=1))
+    print_traces(
+        "Figure 8: CPU usage, NA, 3 jobs",
+        data,
+        "equal shares among concurrently active jobs",
+    )
+    # 2-job window (40–80 s): VAE near 0.5.
+    t1, u1 = data.usage["Job-1"]
+    window2 = u1[(t1 > 45) & (t1 < 80)]
+    np.testing.assert_allclose(np.median(window2), 0.5, atol=0.08)
+    # 3-job window: VAE near 1/3.
+    window3 = u1[(t1 > 90) & (t1 < 140)]
+    np.testing.assert_allclose(np.median(window3), 1 / 3, atol=0.08)

@@ -1,0 +1,25 @@
+"""Fig. 9 — five random jobs under four (α, itval) configs vs NA.
+
+Paper: FlowCon wins 4, 5, 4, 4 of 5 jobs for (3 %,30), (3 %,60),
+(5 %,30), (5 %,60); best single win 42.06 % (Job-3 at α=3 %, itval=30);
+worst loss 11.8 %; makespan improves 1–5 %.
+"""
+
+from _render import print_scale, run_once
+
+from repro.experiments.figures import fig9_random_five
+
+
+def test_fig09_random_five(benchmark):
+    data = run_once(benchmark, lambda: fig9_random_five(seed=42))
+    print_scale(
+        "Figure 9: five jobs, random submission, four FlowCon configs",
+        data,
+        "FlowCon wins ≥4/5 jobs per config; double-digit best win; "
+        "makespan within a few % of NA",
+    )
+    for label in data.completion:
+        if label == "NA":
+            continue
+        assert data.wins(label) >= 3
+        assert data.makespan[label] <= data.makespan["NA"] * 1.02

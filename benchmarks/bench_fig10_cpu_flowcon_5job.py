@@ -1,0 +1,19 @@
+"""Fig. 10 — CPU usage under FlowCon (α = 3 %, itval = 30), 5 random jobs.
+
+Paper: unequal, piecewise-smooth shares tracking growth efficiency; the
+sum of limits may exceed 1 thanks to the CL lower bound + soft limits.
+"""
+
+from _render import print_traces, run_once
+
+from repro.experiments.figures import fig10_cpu_flowcon_5job
+
+
+def test_fig10_cpu_flowcon_5job(benchmark):
+    data = run_once(benchmark, lambda: fig10_cpu_flowcon_5job(seed=42))
+    print_traces(
+        "Figure 10: CPU usage, FlowCon (alpha=3%, itval=30), 5 jobs",
+        data,
+        "piecewise-smooth differentiated shares",
+    )
+    assert len(data.usage) == 5

@@ -1,0 +1,26 @@
+"""Fig. 11 — CPU usage under NA, 5 random jobs.
+
+Paper: usage is *not* equally distributed because the LSTM-CFC cannot
+maximize its CPU even running alone; the spare capacity flows to
+whichever jobs can use it.
+"""
+
+from _render import print_traces, run_once
+
+from repro.experiments.figures import fig11_cpu_na_5job
+
+
+def test_fig11_cpu_na_5job(benchmark):
+    data = run_once(benchmark, lambda: fig11_cpu_na_5job(seed=42))
+    print_traces(
+        "Figure 11: CPU usage, NA, 5 jobs",
+        data,
+        "demand-limited LSTM-CFC stays under ~0.35 even when alone",
+    )
+    cfc_label = next(
+        trace.label
+        for trace in data.run.recorder.traces.values()
+        if "lstm_cfc" in trace.image
+    )
+    _, usage = data.usage[cfc_label]
+    assert usage.max() <= 0.40

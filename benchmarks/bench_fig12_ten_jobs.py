@@ -1,0 +1,22 @@
+"""Fig. 12 — ten random jobs, FlowCon-10 %-20 vs NA.
+
+Paper: makespans 1350.7 s (FlowCon) vs 1384.9 s (NA); FlowCon reduces
+completion for 9 of 10 jobs (reductions 1.8 %–41.2 %, biggest Job-10);
+the one loss (Job-2) is only 1.1 %.
+"""
+
+from _render import print_scale, run_once
+
+from repro.experiments.figures import fig12_ten_jobs
+
+
+def test_fig12_ten_jobs(benchmark):
+    data = run_once(benchmark, lambda: fig12_ten_jobs(seed=42))
+    print_scale(
+        "Figure 12: ten jobs, random submission, FlowCon-10%-20 vs NA",
+        data,
+        "≈9/10 jobs faster; losses ~1%; makespan slightly better",
+    )
+    (config,) = [k for k in data.completion if k != "NA"]
+    assert data.wins(config) >= 9
+    assert data.makespan[config] <= data.makespan["NA"] * 1.01

@@ -1,0 +1,24 @@
+"""Fig. 13 — growth efficiency of a job FlowCon *loses* (or barely ties).
+
+Paper: Job-2 gains growth efficiency early under FlowCon (it starts with
+protected resources), then loses to NA after it converges and its
+resources flow to newer jobs; it finishes 1.1 % slower.
+"""
+
+from _render import print_growth_compare, run_once
+
+from repro.experiments.figures import fig13_growth_comparison
+
+
+def test_fig13_growth_eff_loser(benchmark):
+    data = run_once(benchmark, lambda: fig13_growth_comparison(seed=42))
+    print_growth_compare(
+        "Figure 13: growth efficiency of the worst-delta job (FlowCon vs NA)",
+        data,
+        "early-converging job: high G early, throttled after convergence; "
+        "small completion-time delta",
+    )
+    # The worst job under FlowCon loses at most modestly (paper: 1.1 %).
+    delta = (data.flowcon_completion - data.na_completion) / data.na_completion
+    assert delta < 0.10
+    assert data.flowcon[0].size > 3 and data.na[0].size > 3

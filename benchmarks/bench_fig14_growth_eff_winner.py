@@ -1,0 +1,20 @@
+"""Fig. 14 — growth efficiency of a job FlowCon clearly wins.
+
+Paper: Job-6's growth efficiency under FlowCon tracks/exceeds NA over
+most of its lifetime (after a brief start-up dip while FlowCon updates
+configurations in a 5-active-job system); it completes much faster.
+"""
+
+from _render import print_growth_compare, run_once
+
+from repro.experiments.figures import fig14_growth_comparison
+
+
+def test_fig14_growth_eff_winner(benchmark):
+    data = run_once(benchmark, lambda: fig14_growth_comparison(seed=42))
+    print_growth_compare(
+        "Figure 14: growth efficiency of the best-delta job (FlowCon vs NA)",
+        data,
+        "winning job completes substantially earlier under FlowCon",
+    )
+    assert data.flowcon_completion < data.na_completion

@@ -1,0 +1,20 @@
+"""Fig. 15 — CPU usage under FlowCon (α = 10 %, itval = 20), 10 jobs.
+
+Paper: FlowCon also shows jitter (mostly during the 0–200 s arrival
+window) but per-container usage is much smoother than NA's because soft
+upper limits shrink the room for free competition.
+"""
+
+from _render import print_traces, run_once
+
+from repro.experiments.figures import fig15_cpu_flowcon_10job
+
+
+def test_fig15_cpu_flowcon_10job(benchmark):
+    data = run_once(benchmark, lambda: fig15_cpu_flowcon_10job(seed=42))
+    print_traces(
+        "Figure 15: CPU usage, FlowCon (alpha=10%, itval=20), 10 jobs",
+        data,
+        "smoother per-container traces than Fig. 16 (lower jitter index)",
+    )
+    assert len(data.usage) == 10

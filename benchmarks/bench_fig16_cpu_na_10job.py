@@ -1,0 +1,26 @@
+"""Fig. 16 — CPU usage under NA, 10 jobs.
+
+Paper: clear jitter from uncontrolled resource competition ("whenever
+there is an idle slot, the system will allocate resources to the first
+job in the queue").  The bench additionally verifies the Fig. 15-vs-16
+contrast quantitatively via the jitter index.
+"""
+
+import numpy as np
+from _render import print_traces, run_once
+
+from repro.experiments.figures import fig15_cpu_flowcon_10job, fig16_cpu_na_10job
+
+
+def test_fig16_cpu_na_10job(benchmark):
+    data = run_once(benchmark, lambda: fig16_cpu_na_10job(seed=42))
+    print_traces(
+        "Figure 16: CPU usage, NA, 10 jobs",
+        data,
+        "visible free-competition jitter; noisier than Fig. 15",
+    )
+    flowcon = fig15_cpu_flowcon_10job(seed=42)
+    na_jitter = float(np.mean(list(data.jitter.values())))
+    fc_jitter = float(np.mean(list(flowcon.jitter.values())))
+    print(f"\njitter: NA {na_jitter:.4f} vs FlowCon {fc_jitter:.4f}")
+    assert fc_jitter < na_jitter

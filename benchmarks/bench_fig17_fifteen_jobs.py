@@ -1,0 +1,24 @@
+"""Fig. 17 — fifteen random jobs, FlowCon-10 %-40 vs NA.
+
+Paper: makespan 1950.9 vs 1980.1 s (1.5 % better); FlowCon reduces
+completion time for 11 of 15 jobs (1.2 %–11.9 %); the four losses are
+small (worst 5.7 %).
+"""
+
+from _render import print_scale, run_once
+
+from repro.experiments.figures import fig17_fifteen_jobs
+
+
+def test_fig17_fifteen_jobs(benchmark):
+    data = run_once(benchmark, lambda: fig17_fifteen_jobs(seed=42))
+    print_scale(
+        "Figure 17: fifteen jobs, random submission, FlowCon-10%-40 vs NA",
+        data,
+        "≥11/15 jobs faster; losses <10%; makespan ~1.5% better",
+    )
+    (config,) = [k for k in data.completion if k != "NA"]
+    reductions = data.reductions(config)
+    assert data.wins(config) >= 10
+    assert min(reductions.values()) > -10.0
+    assert data.makespan[config] <= data.makespan["NA"] * 1.01

@@ -1,0 +1,28 @@
+"""Micro-benchmark — allocator throughput.
+
+The water-fill runs at every pool change, tick and metric sample; its
+cost bounds how finely FlowCon can sample.  This is a genuine timing
+benchmark (many rounds), unlike the single-shot figure benches.
+"""
+
+import numpy as np
+
+from repro.containers.allocator import AllocationMode, CpuAllocator
+
+
+def test_perf_water_fill_100_containers(benchmark):
+    rng = np.random.default_rng(0)
+    limits = rng.uniform(0.05, 1.0, 100)
+    demands = rng.uniform(0.2, 1.0, 100)
+    allocator = CpuAllocator(AllocationMode.SOFT)
+    result = benchmark(lambda: allocator.allocate(1.0, limits, demands))
+    assert result.sum() <= 1.0 + 1e-9
+
+
+def test_perf_water_fill_1000_containers(benchmark):
+    rng = np.random.default_rng(0)
+    limits = rng.uniform(0.05, 1.0, 1000)
+    demands = rng.uniform(0.2, 1.0, 1000)
+    allocator = CpuAllocator(AllocationMode.SOFT)
+    result = benchmark(lambda: allocator.allocate(1.0, limits, demands))
+    assert result.sum() <= 1.0 + 1e-9

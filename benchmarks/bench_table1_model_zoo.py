@@ -1,0 +1,38 @@
+"""Table 1 — the tested deep-learning model zoo.
+
+Paper: six models across PyTorch ("P") and TensorFlow ("T") with their
+evaluation functions.  The bench instantiates every profile, trains it to
+completion solo, and prints the inventory with our calibrated parameters.
+"""
+
+from _render import run_once
+
+from repro.experiments.report import render_header, render_table
+from repro.experiments.tables import table1_model_zoo
+from repro.workloads.models import make_job, zoo_keys
+
+
+def _build_and_verify():
+    rows = table1_model_zoo()
+    for key in zoo_keys():
+        job = make_job(key)
+        job.advance(job.total_work)
+        assert job.finished
+    return rows
+
+
+def test_table1_model_zoo(benchmark):
+    rows = run_once(benchmark, _build_and_verify)
+    print("\n" + render_header("Table 1: tested deep learning models"))
+    print(
+        render_table(
+            ["Model", "Eval. Function", "Plat.", "work (cpu·s)", "cpu demand"],
+            [
+                [r.model, r.eval_function, r.platform, r.base_work, r.cpu_demand]
+                for r in rows
+            ],
+        )
+    )
+    assert len(rows) >= 8  # Table 1's six + the Fig. 1 extras
+    platforms = {r.platform for r in rows}
+    assert platforms == {"P", "T"}

@@ -1,0 +1,46 @@
+"""Table 2 — completion-time reduction of MNIST (TensorFlow).
+
+Paper: reductions vs NA for (α = 10 %, itval ∈ 20…60): 26.2 %, 32.4 %,
+14.3 %, 15.3 %, 3.1 %; and for (itval = 20, α ∈ 1…15 %): 32.1 %, 31.0 %,
+21.4 %, 19.0 %, 19.8 %.  Shape: every entry positive; larger itval ⇒
+smaller reduction.
+"""
+
+from _render import run_once
+
+from repro.experiments.report import render_header, render_table
+from repro.experiments.tables import table2_mnist_reduction
+
+
+def test_table2_mnist_reduction(benchmark):
+    table = run_once(benchmark, lambda: table2_mnist_reduction(seed=1))
+    print("\n" + render_header(
+        "Table 2: completion-time reduction of MNIST (Tensorflow)"
+    ))
+    rows = []
+    alpha_labels = list(table.by_alpha)
+    itval_labels = list(table.by_itval)
+    for i in range(max(len(alpha_labels), len(itval_labels))):
+        row = []
+        if i < len(itval_labels):
+            k = itval_labels[i]
+            row += [f"10%, {k}", round(table.by_itval[k], 1)]
+        else:
+            row += ["", ""]
+        if i < len(alpha_labels):
+            k = alpha_labels[i]
+            row += [f"{k}, 20", round(table.by_alpha[k], 1)]
+        else:
+            row += ["", ""]
+        rows.append(row)
+    print(
+        render_table(
+            ["α, itval (Fig. 4)", "Reduction %", "α, itval (Fig. 5)",
+             "Reduction %"],
+            rows,
+        )
+    )
+    itv = [table.by_itval[k] for k in ("20", "30", "40", "50", "60")]
+    assert all(v > 0 for v in itv)
+    assert itv[0] >= itv[-1]
+    assert all(v > 0 for v in table.by_alpha.values())

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Makes the ``benchmarks`` directory importable (for ``_render``) and keeps
+pytest-benchmark's comparison machinery quiet for single-shot runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,89 @@
+"""FlowCon-vs-baseline comparison reports.
+
+Produces the quantities the paper quotes in prose: per-job completion
+reductions, win/loss counts, the largest win/loss, and the makespan delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MetricsError
+from repro.metrics.summary import RunSummary, reduction_pct
+
+__all__ = ["ComparisonReport", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Summary of one treatment-vs-baseline comparison."""
+
+    baseline_name: str
+    treatment_name: str
+    #: Per-job completion-time reduction (% of baseline; positive = win).
+    reductions: dict[str, float]
+    makespan_baseline: float
+    makespan_treatment: float
+
+    @property
+    def wins(self) -> int:
+        """Jobs faster under the treatment."""
+        return sum(1 for r in self.reductions.values() if r > 0)
+
+    @property
+    def losses(self) -> int:
+        """Jobs slower under the treatment."""
+        return sum(1 for r in self.reductions.values() if r < 0)
+
+    @property
+    def n_jobs(self) -> int:
+        """Total jobs compared."""
+        return len(self.reductions)
+
+    @property
+    def best(self) -> tuple[str, float]:
+        """``(job, reduction%)`` of the largest improvement."""
+        label = max(self.reductions, key=self.reductions.get)
+        return label, self.reductions[label]
+
+    @property
+    def worst(self) -> tuple[str, float]:
+        """``(job, reduction%)`` of the largest regression."""
+        label = min(self.reductions, key=self.reductions.get)
+        return label, self.reductions[label]
+
+    @property
+    def makespan_reduction(self) -> float:
+        """Makespan reduction % (positive = treatment faster overall)."""
+        return reduction_pct(self.makespan_baseline, self.makespan_treatment)
+
+    def mean_reduction(self) -> float:
+        """Unweighted mean per-job reduction."""
+        return sum(self.reductions.values()) / len(self.reductions)
+
+
+def compare_runs(
+    baseline: RunSummary,
+    treatment: RunSummary,
+    *,
+    baseline_name: str = "NA",
+    treatment_name: str = "FlowCon",
+) -> ComparisonReport:
+    """Compare two runs of the *same* workload under different policies."""
+    base = baseline.completion_times()
+    treat = treatment.completion_times()
+    if set(base) != set(treat):
+        raise MetricsError(
+            "runs cover different job sets: "
+            f"{sorted(set(base) ^ set(treat))}"
+        )
+    reductions = {
+        label: reduction_pct(base[label], treat[label]) for label in base
+    }
+    return ComparisonReport(
+        baseline_name=baseline_name,
+        treatment_name=treatment_name,
+        reductions=reductions,
+        makespan_baseline=baseline.makespan,
+        makespan_treatment=treatment.makespan,
+    )

@@ -1,0 +1,78 @@
+"""NL/WL/CL occupancy over time.
+
+Algorithm 1's behaviour is easiest to understand as the flow of
+containers through the three lists.  :func:`list_timeline` reconstructs
+per-list occupancy step series from the transition journal a
+:class:`~repro.core.lists.ContainerLists` keeps, and
+:func:`dwell_times` aggregates how long containers spend in each list —
+the quantity that explains who gets throttled for how much of their
+life (EXPERIMENTS.md note N3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.lists import ContainerLists, ListName
+from repro.errors import ExperimentError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = ["list_timeline", "dwell_times"]
+
+
+def list_timeline(lists: ContainerLists) -> dict[ListName, StepSeries]:
+    """Occupancy count of each list over time.
+
+    Built by replaying the transition journal; the returned series step
+    at every transition instant.
+    """
+    series = {name: StepSeries(name.value) for name in ListName}
+    counts = {name: 0 for name in ListName}
+    if not lists.transitions:
+        raise ExperimentError("no list transitions recorded")
+    t0 = lists.transitions[0].time
+    for name in ListName:
+        series[name].append(t0, 0.0)
+    for tr in lists.transitions:
+        if tr.source is not None:
+            counts[tr.source] -= 1
+            series[tr.source].append(tr.time, counts[tr.source])
+        if tr.target is not None:
+            counts[tr.target] += 1
+            series[tr.target].append(tr.time, counts[tr.target])
+    return series
+
+
+def dwell_times(
+    lists: ContainerLists,
+    *,
+    end_time: float | None = None,
+) -> dict[ListName, dict[int, float]]:
+    """Seconds each container spent in each list.
+
+    Parameters
+    ----------
+    lists:
+        The list state whose journal to analyze.
+    end_time:
+        Horizon for containers still in a list at the end of the journal
+        (default: the last transition time).
+    """
+    if not lists.transitions:
+        raise ExperimentError("no list transitions recorded")
+    horizon = (
+        end_time if end_time is not None else lists.transitions[-1].time
+    )
+    entered: dict[int, tuple[ListName, float]] = {}
+    dwell: dict[ListName, dict[int, float]] = {
+        name: defaultdict(float) for name in ListName
+    }
+    for tr in lists.transitions:
+        if tr.source is not None and tr.cid in entered:
+            name, since = entered.pop(tr.cid)
+            dwell[name][tr.cid] += max(0.0, tr.time - since)
+        if tr.target is not None:
+            entered[tr.cid] = (tr.target, tr.time)
+    for cid, (name, since) in entered.items():
+        dwell[name][cid] += max(0.0, horizon - since)
+    return {name: dict(per_cid) for name, per_cid in dwell.items()}

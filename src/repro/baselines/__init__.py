@@ -1,0 +1,27 @@
+"""Baseline scheduling policies FlowCon is compared against.
+
+* :class:`~repro.baselines.na.NAPolicy` — the paper's baseline: the
+  default container platform with no limits, pure free competition.
+* :class:`~repro.baselines.static.StaticPartitionPolicy` — the "users can
+  set an upper limit when initializing" alternative from §2.2: equal
+  static shares, re-divided only when membership changes.
+* :class:`~repro.baselines.slaq.SlaqLikePolicy` — a quality-driven
+  scheduler in the spirit of SLAQ [38], the closest related work (§6):
+  periodically re-allocates proportionally to *predicted* near-term loss
+  improvement, without FlowCon's listeners/back-off machinery.
+* :class:`~repro.baselines.timeslice.TimeSlicePolicy` — Gandiva-inspired
+  round-robin time slicing [36]: periodic near-exclusive bursts with no
+  training-progress signal at all.
+"""
+
+from repro.baselines.na import NAPolicy
+from repro.baselines.slaq import SlaqLikePolicy
+from repro.baselines.static import StaticPartitionPolicy
+from repro.baselines.timeslice import TimeSlicePolicy
+
+__all__ = [
+    "NAPolicy",
+    "SlaqLikePolicy",
+    "StaticPartitionPolicy",
+    "TimeSlicePolicy",
+]

@@ -1,0 +1,35 @@
+"""NA — the default, configuration-free container platform.
+
+§5.2: FlowCon is compared with "the original Docker system (denoted as
+NA)".  Containers are started without limits and "compete for resources
+freely just like processes in an operating system" (§4.1); the kernel's
+fair-share scheduler gives concurrent compute-bound jobs approximately
+equal slices (Fig. 8), with the jitter of uncontrolled competition at
+larger scales (Fig. 16).
+
+The policy is therefore a no-op: limits stay at their default 1.0 and the
+worker's allocator produces equal max-min fair shares.  The jitter and
+interference behaviour comes from the shared
+:class:`~repro.cluster.contention.ContentionModel`, identically configured
+for every policy in a comparison.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.worker import Worker
+from repro.core.policy import SchedulingPolicy
+
+__all__ = ["NAPolicy"]
+
+
+class NAPolicy(SchedulingPolicy):
+    """The paper's NA baseline: no resource configuration at all."""
+
+    name = "NA"
+
+    def attach(self, worker: Worker) -> None:
+        """Nothing to install — default limits (1.0) mean free competition."""
+        self.worker = worker
+
+    def describe(self) -> str:
+        return "NA (default platform, free competition)"

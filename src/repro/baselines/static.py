@@ -1,0 +1,43 @@
+"""Static equal partitioning.
+
+§2.2 names the second non-elastic option: "users can set an upper limit to
+each of the containers when initializing them".  The canonical static
+policy divides the node evenly: with ``n`` live containers each gets limit
+``1/n``, re-divided only when membership changes (there is no runtime
+elasticity — that is precisely what FlowCon adds).
+
+With *soft* allocation this coincides with NA whenever every job is
+compute-bound, but it diverges when demands differ (a demand-limited job's
+unused share is redistributed under NA but stays reserved-and-wasted under
+hard static limits), which is what the hard/soft ablation bench shows.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.worker import Worker
+from repro.containers.container import Container
+from repro.core.policy import SchedulingPolicy
+
+__all__ = ["StaticPartitionPolicy"]
+
+
+class StaticPartitionPolicy(SchedulingPolicy):
+    """Equal static shares, re-divided on membership change only."""
+
+    name = "Static-1/n"
+
+    def attach(self, worker: Worker) -> None:
+        """Install membership hooks that re-divide the node."""
+        self.worker = worker
+        worker.launch_hooks.append(self._rebalance)
+        worker.exit_hooks.append(self._rebalance)
+
+    def _rebalance(self, _container: Container) -> None:
+        running = self.worker.running_containers()
+        if not running:
+            return
+        share = 1.0 / len(running)
+        self.worker.batch_update({c.cid: share for c in running})
+
+    def describe(self) -> str:
+        return "Static equal partition (limit 1/n per container)"

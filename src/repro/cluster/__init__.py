@@ -1,0 +1,37 @@
+"""Cluster substrate: manager, workers, container pools.
+
+Mirrors the paper's §3.1 topology: a manager accepts job submissions and
+dispatches them to workers; each worker hosts a container pool where jobs
+compete for CPU.  All FlowCon machinery runs worker-side
+(:mod:`repro.core`), exactly as the paper argues ("FlowCon runs on the
+worker side to prevent overwhelming the manager").
+
+Key classes
+-----------
+:class:`~repro.cluster.worker.Worker`
+    Owns the container runtime, integrates job progress analytically over
+    intervals of constant allocation, schedules exit events.
+:class:`~repro.cluster.manager.Manager`
+    Schedules submissions as simulation events and places containers.
+:class:`~repro.cluster.pool.ContainerPool`
+    Arrival/finish journal the worker-monitor listeners poll.
+:class:`~repro.cluster.contention.ContentionModel`
+    Interference model: per-concurrent-container efficiency loss and
+    demand jitter under free competition.
+"""
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.manager import Manager, Placement
+from repro.cluster.pool import ContainerPool, PoolDelta
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+
+__all__ = [
+    "ContainerPool",
+    "ContentionModel",
+    "JobSubmission",
+    "Manager",
+    "Placement",
+    "PoolDelta",
+    "Worker",
+]

@@ -1,0 +1,112 @@
+"""The cluster manager.
+
+§3.1: "Managers accept specifications from the user and are responsible
+for reconciling the desired state with the actual cluster state"; they
+interact only with workers' container pools.  Our manager therefore does
+two things: turn submissions into :class:`~repro.simcore.events.Event`\\ s,
+and pick a worker per arriving job (least-loaded placement — Swarm's
+default spread strategy).  All elastic-resource logic stays worker-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.errors import ClusterError
+from repro.simcore.engine import Simulator
+from repro.simcore.events import PRIORITY_ARRIVAL, Event, EventKind
+
+__all__ = ["Placement", "Manager"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Record of one job's placement."""
+
+    label: str
+    worker_name: str
+    cid: int
+    submit_time: float
+
+
+class Manager:
+    """Accepts submissions and places containers on workers."""
+
+    def __init__(self, sim: Simulator, workers: list[Worker]) -> None:
+        if not workers:
+            raise ClusterError("a manager needs at least one worker")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            raise ClusterError(f"duplicate worker names: {names}")
+        self.sim = sim
+        self.workers = list(workers)
+        self.placements: dict[str, Placement] = {}
+        self._labels: set[str] = set()
+        self._pending: int = 0
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, submission: JobSubmission) -> None:
+        """Queue *submission* for arrival at its submit time."""
+        if submission.label in self._labels:
+            raise ClusterError(f"duplicate job label {submission.label!r}")
+        self._labels.add(submission.label)
+        self._pending += 1
+        self.sim.schedule(
+            submission.submit_time,
+            self._on_arrival,
+            kind=EventKind.JOB_ARRIVAL,
+            priority=PRIORITY_ARRIVAL,
+            payload=submission,
+        )
+
+    def submit_all(self, submissions: list[JobSubmission]) -> None:
+        """Queue a whole schedule."""
+        for sub in submissions:
+            self.submit(sub)
+
+    # -- placement -----------------------------------------------------------------
+
+    def _select_worker(self) -> Worker:
+        """Least-loaded (by running-container count, then load) spread."""
+        return min(
+            self.workers,
+            key=lambda w: (len(w.running_containers()), w.load(), w.name),
+        )
+
+    def _on_arrival(self, event: Event) -> None:
+        submission: JobSubmission = event.payload
+        worker = self._select_worker()
+        container = worker.launch(
+            submission.job,
+            name=submission.label,
+            image=submission.image,
+        )
+        self.placements[submission.label] = Placement(
+            label=submission.label,
+            worker_name=worker.name,
+            cid=container.cid,
+            submit_time=submission.submit_time,
+        )
+        self._pending -= 1
+        self.sim.trace(
+            "manager.place",
+            f"placed {submission.label} on {worker.name}",
+            cid=container.cid,
+        )
+
+    # -- views ------------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Submissions accepted but not yet arrived."""
+        return self._pending
+
+    def placement_of(self, label: str) -> Placement:
+        """Placement record for a job label."""
+        try:
+            return self.placements[label]
+        except KeyError:
+            raise ClusterError(f"job {label!r} has not been placed yet") from None

@@ -1,0 +1,117 @@
+"""The container pool and its change journal.
+
+§3.2.2: FlowCon's worker monitor does not watch individual jobs — it
+watches the *pool*, comparing the container count between listener
+iterations (Algorithm 2's ``T(i)``).  :class:`ContainerPool` keeps the set
+of live containers plus arrival/finish journals so listeners can both
+detect a change (``c = T(i) − T(i−1)``) and identify *which* containers
+caused it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.containers.container import Container
+from repro.errors import UnknownContainerError
+
+__all__ = ["PoolDelta", "ContainerPool"]
+
+
+@dataclass(frozen=True)
+class PoolDelta:
+    """What changed in the pool since some earlier observation."""
+
+    count_change: int
+    added: tuple[int, ...] = ()
+    removed: tuple[int, ...] = ()
+
+
+@dataclass
+class _JournalEntry:
+    time: float
+    cid: int
+
+
+class ContainerPool:
+    """Live container membership with arrival/finish journals."""
+
+    def __init__(self) -> None:
+        self._members: dict[int, Container] = {}
+        self._arrivals: list[_JournalEntry] = []
+        self._finishes: list[_JournalEntry] = []
+
+    # -- mutation (worker-driven) ---------------------------------------------
+
+    def add(self, container: Container, time: float) -> None:
+        """Register a newly launched container."""
+        self._members[container.cid] = container
+        self._arrivals.append(_JournalEntry(time, container.cid))
+
+    def discard(self, cid: int, time: float) -> Container:
+        """Remove a finished container, returning it."""
+        try:
+            container = self._members.pop(cid)
+        except KeyError:
+            raise UnknownContainerError(cid) from None
+        self._finishes.append(_JournalEntry(time, cid))
+        return container
+
+    # -- queries (listener-driven) ----------------------------------------------
+
+    def count(self) -> int:
+        """Algorithm 2's ``T(i)`` — live container count."""
+        return len(self._members)
+
+    def members(self) -> list[Container]:
+        """Live containers in cid order."""
+        return sorted(self._members.values(), key=lambda c: c.cid)
+
+    def cids(self) -> set[int]:
+        """Live container ids."""
+        return set(self._members)
+
+    def get(self, cid: int) -> Container:
+        """Live container by id."""
+        try:
+            return self._members[cid]
+        except KeyError:
+            raise UnknownContainerError(cid) from None
+
+    def __contains__(self, cid: int) -> bool:
+        return cid in self._members
+
+    def delta_since(self, known_cids: set[int]) -> PoolDelta:
+        """Difference between the live set and a previously observed set."""
+        current = self.cids()
+        added = tuple(sorted(current - known_cids))
+        removed = tuple(sorted(known_cids - current))
+        return PoolDelta(
+            count_change=len(current) - len(known_cids),
+            added=added,
+            removed=removed,
+        )
+
+    # -- journals -----------------------------------------------------------------
+
+    def arrivals_since(self, t: float) -> list[int]:
+        """Cids that arrived strictly after time *t*."""
+        return [e.cid for e in self._arrivals if e.time > t]
+
+    def finishes_since(self, t: float) -> list[int]:
+        """Cids that finished strictly after time *t*."""
+        return [e.cid for e in self._finishes if e.time > t]
+
+    def total_arrivals(self) -> int:
+        """Number of containers ever added."""
+        return len(self._arrivals)
+
+    def total_finishes(self) -> int:
+        """Number of containers ever finished."""
+        return len(self._finishes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContainerPool(live={len(self._members)}, "
+            f"arrived={len(self._arrivals)}, finished={len(self._finishes)})"
+        )

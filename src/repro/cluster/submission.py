@@ -1,0 +1,43 @@
+"""Job submissions as the manager sees them.
+
+A :class:`JobSubmission` pairs a materialized
+:class:`~repro.workloads.job.TrainingJob` with its submission metadata.
+The split from :class:`~repro.workloads.generator.WorkloadSpec` is
+deliberate: specs are *plans* (cheap, immutable, reusable across policies
+and repetitions), submissions are *instances* bound to one simulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.job import TrainingJob
+
+__all__ = ["JobSubmission"]
+
+
+@dataclass(frozen=True)
+class JobSubmission:
+    """One job arriving at the manager.
+
+    Attributes
+    ----------
+    label:
+        Experiment-facing label (``"Job-3"``), stable across the FlowCon
+        and NA runs of the same scenario so results line up per job.
+    job:
+        The training job to containerize.
+    submit_time:
+        When the manager receives it.
+    image:
+        Container image label for reports.
+    """
+
+    label: str
+    job: TrainingJob
+    submit_time: float
+    image: str = "repro/dl-job"
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise ValueError(f"negative submit_time {self.submit_time!r}")

@@ -1,0 +1,275 @@
+"""The worker node: where containers actually run.
+
+:class:`Worker` closes the loop between the substrates: it owns the
+container runtime, asks the allocator for CPU shares, integrates job
+progress *analytically* over intervals of constant allocation
+(settlement), applies the contention model, and schedules/reschedules
+projected container-exit events on the simulator.
+
+Settlement invariant
+--------------------
+At any instant the worker's view is: "allocations ``A`` have been constant
+since ``_last_settle``".  Every externally visible operation (launch,
+limit update, exit, poke) first *settles* — delivers ``A · efficiency ·
+(now − _last_settle)`` CPU-seconds of work to each running job and
+advances the cgroup counters — then mutates state, then *reallocates* and
+reschedules exits.  Because allocations are piecewise constant this is
+exact, with no time-stepping error (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.pool import ContainerPool
+from repro.containers.allocator import AllocationMode, CpuAllocator
+from repro.containers.container import Container, Workload
+from repro.containers.runtime import ContainerRuntime
+from repro.errors import CapacityError
+from repro.simcore.engine import Simulator
+from repro.simcore.equeue import EventHandle
+from repro.simcore.events import PRIORITY_EXIT, Event, EventKind
+
+__all__ = ["Worker"]
+
+#: Work residue below which a job counts as finished (float hygiene).
+_FINISH_EPS = 1e-6
+
+
+class Worker:
+    """One compute node hosting a pool of containerized training jobs.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine this worker schedules on.
+    name:
+        Node name (also the RNG stream name for this worker's jitter).
+    capacity:
+        Normalized CPU capacity (1.0 = the whole node, as in the paper's
+        normalized usage plots).
+    contention:
+        Interference model; defaults to the calibrated
+        :class:`ContentionModel`.  Use ``ContentionModel.ideal()`` for
+        pure work-conserving behaviour.
+    allocation_mode:
+        Soft (paper semantics) or hard limits.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        name: str = "worker-0",
+        capacity: float = 1.0,
+        contention: ContentionModel | None = None,
+        allocation_mode: AllocationMode = AllocationMode.SOFT,
+    ) -> None:
+        if capacity <= 0:
+            raise CapacityError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self.contention = contention if contention is not None else ContentionModel()
+        self.allocator = CpuAllocator(allocation_mode)
+        self.runtime = ContainerRuntime(clock=lambda: sim.now)
+        self.pool = ContainerPool()
+        self._rng = sim.rngs.stream(f"{name}.jitter")
+
+        self._last_settle = sim.now
+        self._active: list[Container] = []
+        self._allocs = np.zeros(0, dtype=np.float64)
+        self._exit_handles: dict[int, EventHandle] = {}
+        self._in_batch = False
+        #: Hooks invoked after a container exits: f(container).
+        self.exit_hooks: list = []
+        #: Hooks invoked after a container launches: f(container).
+        self.launch_hooks: list = []
+
+    # -- public operations -------------------------------------------------------
+
+    def launch(
+        self,
+        job: Workload,
+        *,
+        name: str | None = None,
+        image: str = "repro/dl-job",
+    ) -> Container:
+        """``docker run`` a job on this worker.
+
+        The container name defaults to the job's own name, so traces and
+        summaries line up with workload labels without extra plumbing.
+        """
+        self.settle()
+        if name is None:
+            name = getattr(job, "name", None)
+        container = self.runtime.run(job, name=name, image=image)
+        self.pool.add(container, self.sim.now)
+        self.sim.trace(
+            "worker.launch",
+            f"{self.name}: launched {container.name} ({image})",
+            cid=container.cid,
+        )
+        self._reallocate()
+        for hook in self.launch_hooks:
+            hook(container)
+        return container
+
+    def update_limit(self, cid: int, cpus: float) -> bool:
+        """``docker update --cpus`` one container and re-balance shares."""
+        self.settle()
+        changed = self.runtime.update(cid, cpus=cpus)
+        if changed and not self._in_batch:
+            self._reallocate()
+        return changed
+
+    def batch_update(self, updates: dict[int, float]) -> int:
+        """Apply many limit updates with a single re-allocation pass.
+
+        Returns the number of limits that actually changed.  This is what
+        one Algorithm-1 execution uses: the paper's executor issues all
+        ``docker update`` calls of an interval back-to-back.
+        """
+        self.settle()
+        self._in_batch = True
+        changed = 0
+        try:
+            for cid, cpus in updates.items():
+                if self.runtime.update(cid, cpus=cpus):
+                    changed += 1
+        finally:
+            self._in_batch = False
+        if changed:
+            self._reallocate()
+        return changed
+
+    def poke(self) -> None:
+        """Settle and re-balance without any state change.
+
+        Called by metric samplers; under non-zero jitter this is also the
+        point where OS-scheduler noise is re-sampled (DESIGN.md §2).
+        """
+        self.settle()
+        self._reallocate()
+
+    # -- settlement -----------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Integrate progress from ``_last_settle`` to now."""
+        now = self.sim.now
+        dt = now - self._last_settle
+        if dt <= 0:
+            return
+        if self._active:
+            eff = self.contention.efficiency(
+                len(self._active), self.memory_used()
+            )
+            for container, alloc in zip(self._active, self._allocs):
+                container.job.advance(alloc * eff * dt)
+                container.cgroup.accumulate(dt, container.usage_at(alloc))
+                container.cgroup.checkpoint()
+        self._last_settle = now
+
+    def _reallocate(self) -> None:
+        """Recompute CPU shares for the current pool and reschedule exits."""
+        running = self.runtime.running()
+        self._active = running
+        if not running:
+            self._allocs = np.zeros(0, dtype=np.float64)
+            return
+        limits = np.array([c.limits.cpu for c in running], dtype=np.float64)
+        demands = np.array([c.demand() for c in running], dtype=np.float64)
+        # Two jitter channels, both limit-sensitive (free competition is
+        # noisier): demand noise models throughput wobble of the training
+        # loop; weight noise models the kernel's imperfect instantaneous
+        # fair sharing (the Fig. 16 jitter NA exhibits).
+        demand_noise = self.contention.demand_noise(self._rng, limits)
+        demands = np.clip(demands * demand_noise, 1e-3, 1.0)
+        weights = self.contention.weight_noise(self._rng, limits)
+        self._allocs = self.allocator.allocate(
+            self.capacity, limits, demands, weights
+        )
+        for container, alloc in zip(running, self._allocs):
+            container.current_alloc = float(alloc)
+        self._reschedule_exits()
+
+    def _reschedule_exits(self) -> None:
+        """Project each running job's finish time and (re)schedule its exit."""
+        for handle in self._exit_handles.values():
+            self.sim.cancel(handle)
+        self._exit_handles.clear()
+        if not self._active:
+            return
+        eff = self.contention.efficiency(
+            len(self._active), self.memory_used()
+        )
+        now = self.sim.now
+        for container, alloc in zip(self._active, self._allocs):
+            rate = alloc * eff
+            if rate <= 0:
+                continue  # starved: will be rescheduled on the next change
+            t_finish = now + container.job.remaining_work() / rate
+            self._exit_handles[container.cid] = self.sim.schedule(
+                t_finish,
+                self._on_exit_event,
+                kind=EventKind.CONTAINER_EXIT,
+                priority=PRIORITY_EXIT,
+                payload=container.cid,
+            )
+
+    def _on_exit_event(self, event: Event) -> None:
+        cid = int(event.payload)
+        self._exit_handles.pop(cid, None)
+        self.settle()
+        container = self.runtime.get(cid)
+        job = container.job
+        if not job.finished and job.remaining_work() <= _FINISH_EPS:
+            job.advance(job.remaining_work())
+        if not job.finished:
+            # Stale projection (allocation changed between scheduling and
+            # firing without cancellation) — re-project and keep running.
+            self._reallocate()
+            return
+        self.runtime.mark_exited(cid)
+        self.pool.discard(cid, self.sim.now)
+        self.sim.trace(
+            "worker.exit",
+            f"{self.name}: {container.name} exited "
+            f"(completion {container.completion_time():.1f}s)",
+            cid=cid,
+        )
+        self._reallocate()
+        for hook in self.exit_hooks:
+            hook(container)
+
+    # -- views ----------------------------------------------------------------------
+
+    def running_containers(self) -> list[Container]:
+        """Live containers in cid order."""
+        return self.runtime.running()
+
+    def allocations(self) -> dict[int, float]:
+        """Current CPU allocation per running container id."""
+        return {c.cid: float(a) for c, a in zip(self._active, self._allocs)}
+
+    def load(self) -> float:
+        """Sum of current allocations (0 … capacity)."""
+        return float(self._allocs.sum()) if self._allocs.size else 0.0
+
+    def memory_used(self) -> float:
+        """Total resident memory of running containers (fraction of RAM).
+
+        Values above 1.0 mean the node is overcommitted; the contention
+        model converts the overcommit into a thrashing penalty when
+        ``swap_penalty`` is enabled.
+        """
+        return float(
+            sum(c.job.footprint.memory for c in self._active)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Worker({self.name!r}, running={len(self._active)}, "
+            f"load={self.load():.3f}/{self.capacity})"
+        )

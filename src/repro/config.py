@@ -1,0 +1,159 @@
+"""Configuration objects for FlowCon and the simulation harness.
+
+Two dataclasses cover every knob the paper discusses plus the ablation
+switches DESIGN.md §5 adds:
+
+* :class:`FlowConConfig` — the scheduler parameters: the classification
+  threshold ``α`` and the algorithm interval ``itval`` (§5.2 calls these
+  "the two key parameters"), the CL lower-bound coefficient ``β``
+  (Algorithm 1 line 22), back-off behaviour, and measurement options.
+* :class:`SimulationConfig` — substrate parameters: seed, worker capacity,
+  contention model, metric-sampling cadence.
+
+Both validate eagerly: a bad value raises :class:`~repro.errors.ConfigError`
+at construction, not halfway through a 2000-second simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.contention import ContentionModel
+from repro.containers.allocator import AllocationMode
+from repro.containers.spec import ResourceType
+from repro.errors import ConfigError
+
+__all__ = ["FlowConConfig", "SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class FlowConConfig:
+    """FlowCon scheduler parameters.
+
+    Attributes
+    ----------
+    alpha:
+        Classification threshold on *peak-relative* growth efficiency
+        (DESIGN.md §2 interpretation note 1).  The paper sweeps
+        1 %–15 %; default 5 % (§5.3's headline setting).
+    itval:
+        Initial interval, in seconds, between Algorithm 1 executions.
+        The paper sweeps 20–60 s; default 20 s.
+    beta:
+        CL lower-bound coefficient: converged containers keep at least
+        ``1/(beta · n)`` CPU (Algorithm 1 line 22).  ``None`` disables the
+        floor (ablation).  Default 2.0, which reproduces the paper's
+        0.25 floor with two containers (§5.3).
+    resource:
+        Which resource dimension drives growth efficiency.  The paper's
+        evaluation focuses on CPU.
+    backoff_enabled / backoff_factor / max_itval:
+        Exponential back-off of ``itval`` when every container is in CL
+        (Algorithm 1 line 17).  ``backoff_enabled=False`` is the ablation.
+    min_samples:
+        Monitor samples required before a container is classified; until
+        then it stays in NL with limit 1 (a fresh container has no
+        growth-efficiency history — §5.3's "sets MNIST's limit to 1").
+    nl_full_limit:
+        When ``True`` (default) NL members keep the full limit 1, per the
+        paper's prose ("Allocate more resources to containers in the NL")
+        and Fig. 7's observed behaviour.  ``False`` applies Algorithm 1
+        line 26's literal ``G/ΣG`` share to NL members (ablation; it
+        systematically starves young jobs whose metric scale is small —
+        see DESIGN.md §2 note 1).
+    listeners_enabled:
+        Algorithm 2's background listeners.  Disabled ⇒ purely periodic
+        Algorithm 1 (ablation quantifying arrival-reaction latency).
+    listener_poll_interval:
+        Poll cadence for the listeners when event subscription is not
+        used.  The default 1 s models a lightweight background thread.
+    event_driven_listeners:
+        When ``True`` (default) listeners subscribe to pool changes and
+        react immediately — the behaviour the paper intends ("track the
+        container states in real-time"); ``False`` forces polling.
+    """
+
+    alpha: float = 0.05
+    itval: float = 20.0
+    beta: float | None = 2.0
+    resource: ResourceType = ResourceType.CPU
+    backoff_enabled: bool = True
+    backoff_factor: float = 2.0
+    max_itval: float = 640.0
+    min_samples: int = 2
+    nl_full_limit: bool = True
+    listeners_enabled: bool = True
+    listener_poll_interval: float = 1.0
+    event_driven_listeners: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(f"alpha must lie in (0, 1), got {self.alpha!r}")
+        if self.itval <= 0:
+            raise ConfigError(f"itval must be positive, got {self.itval!r}")
+        if self.beta is not None and self.beta <= 0:
+            raise ConfigError(f"beta must be positive or None, got {self.beta!r}")
+        if self.backoff_factor <= 1.0:
+            raise ConfigError(
+                f"backoff_factor must exceed 1, got {self.backoff_factor!r}"
+            )
+        if self.max_itval < self.itval:
+            raise ConfigError("max_itval must be at least itval")
+        if self.min_samples < 1:
+            raise ConfigError("min_samples must be at least 1")
+        if self.listener_poll_interval <= 0:
+            raise ConfigError("listener_poll_interval must be positive")
+
+    def with_params(self, **kwargs) -> "FlowConConfig":
+        """Functional update, e.g. ``cfg.with_params(alpha=0.10)``."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Short label used in figures, e.g. ``"FlowCon-5%-20"``."""
+        return f"FlowCon-{self.alpha:.0%}-{self.itval:g}"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Substrate parameters for one experiment run.
+
+    Attributes
+    ----------
+    seed:
+        Root seed for every random stream in the run.
+    capacity:
+        Worker CPU capacity (normalized; the paper's single R320 node
+        is 1.0).
+    contention:
+        Interference model (see :class:`ContentionModel`).
+    allocation_mode:
+        Soft (paper semantics) or hard limits.
+    sample_interval:
+        Metric-recorder sampling cadence in seconds (drives the CPU-usage
+        traces of Figs. 7–16 and growth-efficiency traces of Figs. 13–14).
+    horizon:
+        Optional hard stop time for the simulation; ``None`` runs until
+        all jobs complete.
+    trace:
+        Keep a structured trace (disable for large sweeps).
+    """
+
+    seed: int = 0
+    capacity: float = 1.0
+    contention: ContentionModel = field(default_factory=ContentionModel)
+    allocation_mode: AllocationMode = AllocationMode.SOFT
+    sample_interval: float = 5.0
+    horizon: float | None = None
+    trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {self.capacity!r}")
+        if self.sample_interval <= 0:
+            raise ConfigError("sample_interval must be positive")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ConfigError("horizon must be positive or None")
+
+    def with_params(self, **kwargs) -> "SimulationConfig":
+        """Functional update."""
+        return replace(self, **kwargs)

@@ -1,0 +1,125 @@
+"""Cgroup-style cumulative usage accounting.
+
+Docker exposes per-container usage through the cgroup filesystem
+(``cpuacct.usage``, ``memory.usage_in_bytes``, blkio/net counters);
+``docker stats`` and FlowCon's container monitor read those counters.
+:class:`CgroupAccount` is the simulated equivalent: cumulative counters
+advanced analytically whenever the worker settles an interval of constant
+allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.containers.spec import ResourceType, ResourceVector
+from repro.errors import ContainerError
+
+__all__ = ["CgroupAccount", "UsageWindow"]
+
+
+@dataclass(frozen=True)
+class UsageWindow:
+    """Average usage over a closed time window (for Eq. 2's ``R(t_i)``)."""
+
+    t_start: float
+    t_end: float
+    mean: ResourceVector
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds."""
+        return self.t_end - self.t_start
+
+
+class CgroupAccount:
+    """Cumulative resource counters for a single container.
+
+    The counters integrate *instantaneous* usage over time, exactly like
+    ``cpuacct.usage`` integrates CPU-nanoseconds.  Interval averages — what
+    Eq. 2's ``R_{cid,ri}(t_i)`` asks for — are recovered as counter deltas
+    divided by elapsed time via :meth:`window_between`.
+    """
+
+    def __init__(self, created_at: float = 0.0) -> None:
+        self.created_at = float(created_at)
+        self.last_update = float(created_at)
+        # Integral of usage dt per resource, ResourceType.ordered() order.
+        self._integral = np.zeros(4, dtype=np.float64)
+        # Checkpoint history: (time, integral copy) for window queries.
+        self._checkpoints: list[tuple[float, np.ndarray]] = [
+            (self.created_at, self._integral.copy())
+        ]
+
+    # -- accumulation ------------------------------------------------------
+
+    def accumulate(self, dt: float, usage: ResourceVector) -> None:
+        """Integrate constant *usage* over an interval of length *dt*."""
+        if dt < 0:
+            raise ContainerError(f"negative accounting interval {dt!r}")
+        if dt == 0.0:
+            return
+        self._integral += usage.as_array() * dt
+        self.last_update += dt
+
+    def checkpoint(self) -> None:
+        """Record the current counters for later window queries."""
+        self._checkpoints.append((self.last_update, self._integral.copy()))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def totals(self) -> ResourceVector:
+        """Cumulative usage integrals (e.g. CPU-seconds) since creation."""
+        return ResourceVector.from_array(self._integral)
+
+    def cpu_seconds(self) -> float:
+        """Total CPU-seconds consumed (the ``cpuacct.usage`` analogue)."""
+        return float(self._integral[ResourceType.CPU.index])
+
+    def mean_usage_since(self, t_start: float, t_end: float) -> ResourceVector:
+        """Average usage over ``[t_start, t_end]``.
+
+        Requires checkpoints at (or integration up to) both endpoints; the
+        worker checkpoints at every settlement, so monitor intervals always
+        align.  Falls back to linear interpolation between the two nearest
+        checkpoints for robustness.
+        """
+        if t_end <= t_start:
+            raise ContainerError(
+                f"empty usage window [{t_start!r}, {t_end!r}]"
+            )
+        start_integral = self._integral_at(t_start)
+        end_integral = self._integral_at(t_end)
+        mean = (end_integral - start_integral) / (t_end - t_start)
+        return ResourceVector.from_array(mean)
+
+    def window_between(self, t_start: float, t_end: float) -> UsageWindow:
+        """Convenience wrapper returning a :class:`UsageWindow`."""
+        return UsageWindow(t_start, t_end, self.mean_usage_since(t_start, t_end))
+
+    def _integral_at(self, t: float) -> np.ndarray:
+        """Counter values at time *t* (interpolating between checkpoints)."""
+        if t <= self._checkpoints[0][0]:
+            return self._checkpoints[0][1]
+        if t >= self.last_update:
+            return self._integral
+        times = np.array([c[0] for c in self._checkpoints])
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        t0, v0 = self._checkpoints[idx]
+        if idx + 1 < len(self._checkpoints):
+            t1, v1 = self._checkpoints[idx + 1]
+        else:
+            t1, v1 = self.last_update, self._integral
+        if t1 <= t0:
+            return v1
+        frac = (t - t0) / (t1 - t0)
+        return v0 + (v1 - v0) * frac
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CgroupAccount(cpu_s={self.cpu_seconds():.3f}, "
+            f"updated={self.last_update:.3f})"
+        )

@@ -1,0 +1,150 @@
+"""The container-daemon facade.
+
+:class:`ContainerRuntime` plays the role of the local Docker daemon on one
+worker: it owns the container table and exposes the exact operations the
+paper's middleware issues — ``run``, ``update``, ``stats``, ``ps``,
+``remove`` (§2.1, §4.1).  It does **not** decide CPU shares or advance
+jobs; that is the worker's job (:mod:`repro.cluster.worker`), mirroring how
+the real daemon delegates scheduling to the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.containers.container import Container, ContainerState, Workload
+from repro.containers.spec import ResourceType
+from repro.containers.stats import ContainerStats, StatsSampler
+from repro.errors import ContainerStateError, UnknownContainerError
+
+__all__ = ["ContainerRuntime"]
+
+
+class ContainerRuntime:
+    """In-memory daemon for one worker node.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulation time; the
+        daemon timestamps lifecycle transitions with it.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._containers: dict[int, Container] = {}
+        self._sampler = StatsSampler()
+        #: Observers notified on lifecycle changes: (event, container).
+        self._listeners: list[Callable[[str, Container], None]] = []
+
+    # -- daemon API ----------------------------------------------------------
+
+    def run(
+        self,
+        job: Workload,
+        *,
+        name: str | None = None,
+        image: str = "repro/dl-job",
+    ) -> Container:
+        """``docker run -d <image>``: create and immediately start."""
+        now = self._clock()
+        container = Container(job, name=name, image=image, created_at=now)
+        container.start(now)
+        self._containers[container.cid] = container
+        self._notify("run", container)
+        return container
+
+    def update(
+        self,
+        cid: int,
+        *,
+        cpus: float | None = None,
+        memory: float | None = None,
+        blkio_weight: float | None = None,
+    ) -> bool:
+        """``docker update <options> container_id``.
+
+        Returns ``True`` if any limit actually changed.  Updating an exited
+        container raises, like the real daemon.
+        """
+        container = self.get(cid)
+        if container.state is ContainerState.EXITED:
+            raise ContainerStateError(
+                f"cannot update exited container {container.name}"
+            )
+        now = self._clock()
+        changed = False
+        if cpus is not None:
+            changed |= container.limits.set(ResourceType.CPU, cpus, time=now)
+        if memory is not None:
+            changed |= container.limits.set(ResourceType.MEMORY, memory, time=now)
+        if blkio_weight is not None:
+            changed |= container.limits.set(
+                ResourceType.BLKIO, blkio_weight, time=now
+            )
+        if changed:
+            self._notify("update", container)
+        return changed
+
+    def stats(self, cid: int) -> ContainerStats | None:
+        """``docker stats --no-stream <cid>`` plus the job's ``E(t)``."""
+        return self._sampler.sample(self.get(cid), self._clock())
+
+    def ps(self, *, all_states: bool = False) -> list[Container]:
+        """``docker ps`` — RUNNING containers (or all with ``all_states``)."""
+        containers = sorted(self._containers.values(), key=lambda c: c.cid)
+        if all_states:
+            return containers
+        return [c for c in containers if c.state is ContainerState.RUNNING]
+
+    def remove(self, cid: int) -> Container:
+        """``docker rm`` — drop an exited container from the table."""
+        container = self.get(cid)
+        if container.state is not ContainerState.EXITED:
+            raise ContainerStateError(
+                f"cannot remove non-exited container {container.name}"
+            )
+        del self._containers[cid]
+        self._sampler.forget(cid)
+        self._notify("remove", container)
+        return container
+
+    # -- internal / worker-facing ---------------------------------------------
+
+    def get(self, cid: int) -> Container:
+        """Look up a container by id."""
+        try:
+            return self._containers[cid]
+        except KeyError:
+            raise UnknownContainerError(cid) from None
+
+    def mark_exited(self, cid: int) -> Container:
+        """Transition a container to EXITED (called by the worker)."""
+        container = self.get(cid)
+        container.mark_exited(self._clock())
+        self._notify("exit", container)
+        return container
+
+    def running(self) -> list[Container]:
+        """All RUNNING containers in cid order."""
+        return self.ps()
+
+    def all_containers(self) -> list[Container]:
+        """Every container the daemon has seen and not removed."""
+        return self.ps(all_states=True)
+
+    def __len__(self) -> int:
+        return len(self._containers)
+
+    def __iter__(self) -> Iterable[Container]:
+        return iter(self.ps(all_states=True))
+
+    # -- events ----------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[str, Container], None]) -> None:
+        """Register a lifecycle observer (``event`` in run/update/exit/remove)."""
+        self._listeners.append(callback)
+
+    def _notify(self, event: str, container: Container) -> None:
+        for listener in self._listeners:
+            listener(event, container)

@@ -1,0 +1,76 @@
+"""``docker stats``-style sampling.
+
+The container monitor (§3.2.1) consumes periodic per-container usage
+snapshots.  :class:`StatsSampler` produces them from cgroup accounts; each
+:class:`ContainerStats` corresponds to one line of ``docker stats`` output
+plus the evaluation-function reading FlowCon additionally scrapes from the
+job's log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.containers.container import Container
+from repro.containers.spec import ResourceVector
+
+__all__ = ["ContainerStats", "StatsSampler"]
+
+
+@dataclass(frozen=True)
+class ContainerStats:
+    """One sampled observation of a running container."""
+
+    time: float
+    cid: int
+    name: str
+    state: str
+    #: Mean usage since the previous sample (Eq. 2's ``R(t_i)``).
+    mean_usage: ResourceVector
+    #: Instantaneous CPU allocation at sampling time.
+    cpu_alloc: float
+    #: Current CPU limit.
+    cpu_limit: float
+    #: Evaluation-function reading ``E(t)`` (loss/accuracy), if available.
+    eval_value: float | None
+
+
+class StatsSampler:
+    """Stateful sampler that remembers each container's last sample time.
+
+    One sampler instance belongs to one observer (the container monitor);
+    separate observers sampling at different cadences do not interfere.
+    """
+
+    def __init__(self) -> None:
+        self._last_sample: dict[int, float] = {}
+
+    def sample(self, container: Container, time: float) -> ContainerStats | None:
+        """Sample *container* at *time*.
+
+        Returns ``None`` for a zero-length window (two samples at the same
+        instant), mirroring how a real monitor would skip a duplicate poll.
+        """
+        t_prev = self._last_sample.get(container.cid, container.created_at)
+        if time <= t_prev:
+            return None
+        mean = container.cgroup.mean_usage_since(t_prev, time)
+        self._last_sample[container.cid] = time
+        try:
+            eval_value: float | None = container.job.eval_value()
+        except Exception:  # job may not expose E(t); monitor tolerates it
+            eval_value = None
+        return ContainerStats(
+            time=time,
+            cid=container.cid,
+            name=container.name,
+            state=container.state.value,
+            mean_usage=mean,
+            cpu_alloc=container.current_alloc,
+            cpu_limit=container.limits.cpu,
+            eval_value=eval_value,
+        )
+
+    def forget(self, cid: int) -> None:
+        """Drop sampler state for an exited container."""
+        self._last_sample.pop(cid, None)

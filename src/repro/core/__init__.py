@@ -1,0 +1,44 @@
+"""FlowCon's core: the paper's primary contribution.
+
+The modules here implement §3–§4 of the paper directly:
+
+* :mod:`~repro.core.efficiency` — Eq. 1 (progress score) and Eq. 2 (growth
+  efficiency) with per-container history and peak-relative normalization.
+* :mod:`~repro.core.monitor` — the Container Monitor (§3.2.1).
+* :mod:`~repro.core.lists` — the NL / WL / CL categorization (§4.2).
+* :mod:`~repro.core.algorithm1` — Algorithm 1, dynamic resource management.
+* :mod:`~repro.core.worker_monitor` — the Worker Monitor with its New-Cons
+  and Finished-Cons listeners (§3.2.2).
+* :mod:`~repro.core.algorithm2` — Algorithm 2, the listener workflow (§4.3).
+* :mod:`~repro.core.executor` — the Executor (§3.2.3): periodic Algorithm 1
+  runs, exponential back-off, listener interrupts.
+* :mod:`~repro.core.policy` — :class:`SchedulingPolicy` interface and the
+  assembled :class:`FlowConPolicy`.
+"""
+
+from repro.core.algorithm1 import Algorithm1Result, run_algorithm1
+from repro.core.algorithm2 import Listener, ListenerReport
+from repro.core.efficiency import EfficiencyHistory, EfficiencySample, GrowthTracker
+from repro.core.executor import Executor
+from repro.core.lists import ContainerLists, ListName
+from repro.core.monitor import ContainerMonitor, Measurement
+from repro.core.policy import FlowConPolicy, SchedulingPolicy
+from repro.core.worker_monitor import WorkerMonitor
+
+__all__ = [
+    "Algorithm1Result",
+    "ContainerLists",
+    "ContainerMonitor",
+    "EfficiencyHistory",
+    "EfficiencySample",
+    "Executor",
+    "FlowConPolicy",
+    "GrowthTracker",
+    "Listener",
+    "ListenerReport",
+    "ListName",
+    "Measurement",
+    "SchedulingPolicy",
+    "WorkerMonitor",
+    "run_algorithm1",
+]

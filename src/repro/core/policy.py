@@ -1,0 +1,71 @@
+"""Scheduling-policy interface and the assembled FlowCon policy.
+
+A :class:`SchedulingPolicy` is anything that can attach to a worker and
+manage its containers' resource limits over a run.  The experiment runner
+(:mod:`repro.experiments.runner`) is policy-agnostic: FlowCon, the NA
+baseline, static partitioning and the SLAQ-like scheduler all plug in
+through this interface, which is what makes the paper's FlowCon-vs-NA
+comparisons (and our extra baselines) apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cluster.worker import Worker
+from repro.config import FlowConConfig
+from repro.core.executor import Executor
+
+__all__ = ["SchedulingPolicy", "FlowConPolicy"]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Interface every resource-management policy implements."""
+
+    #: Display name used in reports ("FlowCon-5%-20", "NA", ...).
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def attach(self, worker: Worker) -> None:
+        """Install the policy on *worker* before the simulation starts."""
+
+    def detach(self) -> None:
+        """Tear down scheduled work (optional)."""
+
+    def describe(self) -> str:
+        """Human-readable parameterization."""
+        return self.name
+
+
+class FlowConPolicy(SchedulingPolicy):
+    """The paper's system: Container/Worker monitors + Executor.
+
+    Parameters
+    ----------
+    config:
+        FlowCon parameters; defaults to the paper's headline α=5 %,
+        itval=20 s configuration.
+    """
+
+    def __init__(self, config: FlowConConfig | None = None) -> None:
+        self.config = config if config is not None else FlowConConfig()
+        self.executor: Executor | None = None
+        self.name = self.config.describe()
+
+    def attach(self, worker: Worker) -> None:
+        """Create and start an Executor bound to *worker*."""
+        self.executor = Executor(worker, self.config)
+        self.executor.start()
+
+    def detach(self) -> None:
+        """Stop the executor's scheduled events."""
+        if self.executor is not None:
+            self.executor.stop()
+
+    def describe(self) -> str:
+        cfg = self.config
+        return (
+            f"FlowCon(alpha={cfg.alpha:.0%}, itval={cfg.itval:g}s, "
+            f"beta={cfg.beta}, backoff={cfg.backoff_enabled}, "
+            f"listeners={cfg.listeners_enabled})"
+        )

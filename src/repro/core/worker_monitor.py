@@ -1,0 +1,70 @@
+"""The Worker Monitor (§3.2.2).
+
+"A worker monitor measures the container pool on the worker.  There are
+two listeners, one called New Cons and the other one called Finished Cons.
+[...] The New Cons listener tracks the incoming containers and assigns the
+appropriate resources to them.  The Finished Cons listener monitors the
+containers with finished jobs and releases their resources to the system."
+
+:class:`WorkerMonitor` owns the two listeners and the last-observed pool
+snapshot; :mod:`~repro.core.algorithm2` implements the iteration logic
+that consumes its observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.pool import PoolDelta
+from repro.cluster.worker import Worker
+
+__all__ = ["PoolObservation", "WorkerMonitor"]
+
+
+@dataclass(frozen=True)
+class PoolObservation:
+    """One worker-monitor reading of the container pool."""
+
+    time: float
+    iteration: int
+    #: Algorithm 2's ``T(i)``.
+    count: int
+    delta: PoolDelta
+
+
+class WorkerMonitor:
+    """Tracks pool membership changes between listener iterations."""
+
+    def __init__(self, worker: Worker) -> None:
+        self.worker = worker
+        self._known_cids: set[int] = set()
+        self._iteration = 0
+
+    @property
+    def iteration(self) -> int:
+        """Number of observations taken so far (Algorithm 2's ``i``)."""
+        return self._iteration
+
+    def observe(self) -> PoolObservation:
+        """Take one reading: current count and delta vs. the previous one.
+
+        Corresponds to Algorithm 2 lines 2–4: fetch ``T(i)`` and compute
+        ``c = T(i) − T(i−1)``; additionally identifies *which* containers
+        arrived/finished (the pseudocode's "find out the cid" steps).
+        """
+        pool = self.worker.pool
+        delta = pool.delta_since(self._known_cids)
+        observation = PoolObservation(
+            time=self.worker.sim.now,
+            iteration=self._iteration,
+            count=pool.count(),
+            delta=delta,
+        )
+        self._known_cids = pool.cids()
+        self._iteration += 1
+        return observation
+
+    def reset(self) -> None:
+        """Forget prior observations (fresh attach)."""
+        self._known_cids = set()
+        self._iteration = 0

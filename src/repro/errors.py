@@ -1,0 +1,127 @@
+"""Exception hierarchy for the FlowCon reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between substrate layers (simulation
+engine, container runtime, workload model, cluster, scheduler core).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "EventQueueError",
+    "ClockError",
+    "ContainerError",
+    "ContainerStateError",
+    "UnknownContainerError",
+    "AllocationError",
+    "WorkloadError",
+    "CurveError",
+    "ClusterError",
+    "CapacityError",
+    "SchedulerError",
+    "ListMembershipError",
+    "MetricsError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object failed validation."""
+
+
+# ---------------------------------------------------------------------------
+# simcore
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Generic failure inside the discrete-event simulation engine."""
+
+
+class EventQueueError(SimulationError):
+    """Misuse of the event queue (e.g. popping from an empty queue)."""
+
+
+class ClockError(SimulationError):
+    """An attempt to move the simulation clock backwards."""
+
+
+# ---------------------------------------------------------------------------
+# containers
+# ---------------------------------------------------------------------------
+
+
+class ContainerError(ReproError):
+    """Generic container-runtime failure."""
+
+
+class ContainerStateError(ContainerError):
+    """An operation is illegal in the container's current lifecycle state."""
+
+
+class UnknownContainerError(ContainerError, KeyError):
+    """A container id was not found in the runtime / pool."""
+
+
+class AllocationError(ContainerError):
+    """The resource allocator was fed inconsistent inputs."""
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """Generic workload-model failure."""
+
+
+class CurveError(WorkloadError, ValueError):
+    """A convergence curve received invalid parameters or inputs."""
+
+
+# ---------------------------------------------------------------------------
+# cluster
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Generic cluster-layer failure."""
+
+
+class CapacityError(ClusterError):
+    """A worker was asked to exceed its physical capacity."""
+
+
+# ---------------------------------------------------------------------------
+# core (FlowCon)
+# ---------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Generic scheduling-policy failure."""
+
+
+class ListMembershipError(SchedulerError):
+    """The NL/WL/CL invariant (each container in at most one list) broke."""
+
+
+# ---------------------------------------------------------------------------
+# metrics / experiments
+# ---------------------------------------------------------------------------
+
+
+class MetricsError(ReproError):
+    """Telemetry recording or summarisation failure."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced no data."""

@@ -1,0 +1,35 @@
+"""Experiment harness: scenario runners and figure/table generators.
+
+Every table and figure in the paper's §5 has a generator here (see the
+per-experiment index in DESIGN.md §4).  The layering is:
+
+* :mod:`~repro.experiments.runner` — policy-agnostic "run this workload
+  under this policy" engine, returning completion summaries and traces;
+* :mod:`~repro.experiments.scenarios` — the paper's workloads (fixed
+  3-job, random 5/10/15-job);
+* :mod:`~repro.experiments.figures` / :mod:`~repro.experiments.tables` —
+  one function per figure/table producing plain data structures;
+* :mod:`~repro.experiments.report` — ASCII rendering used by the benches.
+"""
+
+from repro.experiments.multiworker import MultiWorkerResult, run_multi_worker
+from repro.experiments.runner import RunResult, run_scenario
+from repro.experiments.scenarios import (
+    fixed_three_job,
+    random_fifteen_job,
+    random_five_job,
+    random_ten_job,
+)
+from repro.experiments.validate import validate_reproduction
+
+__all__ = [
+    "MultiWorkerResult",
+    "RunResult",
+    "fixed_three_job",
+    "random_fifteen_job",
+    "random_five_job",
+    "random_ten_job",
+    "run_multi_worker",
+    "run_scenario",
+    "validate_reproduction",
+]

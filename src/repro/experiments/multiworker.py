@@ -1,0 +1,142 @@
+"""Multi-worker scenario runner.
+
+§3.1's architecture runs FlowCon *per worker* so scheduling overhead
+distributes across the cluster.  :func:`run_multi_worker` generalizes
+:func:`~repro.experiments.runner.run_scenario` to ``n`` workers: the
+manager spreads containers, each worker gets its own policy instance
+(from a factory, since policies hold per-worker state) and its own
+metrics recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.manager import Manager
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.config import SimulationConfig
+from repro.core.policy import SchedulingPolicy
+from repro.errors import ExperimentError
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.summary import CompletionRecord, RunSummary
+from repro.simcore.engine import Simulator
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.models import MODEL_ZOO
+
+__all__ = ["MultiWorkerResult", "run_multi_worker"]
+
+
+@dataclass
+class MultiWorkerResult:
+    """Everything observed during one multi-worker run."""
+
+    summary: RunSummary
+    per_worker: dict[str, list[str]]
+    policies: dict[str, SchedulingPolicy]
+    recorders: dict[str, MetricsRecorder]
+    manager: Manager
+    sim: Simulator
+
+    @property
+    def makespan(self) -> float:
+        """First submission to last completion, cluster-wide."""
+        return self.summary.makespan
+
+    def completion_times(self) -> dict[str, float]:
+        """label → completion time across all workers."""
+        return self.summary.completion_times()
+
+
+def run_multi_worker(
+    specs: list[WorkloadSpec],
+    policy_factory: Callable[[], SchedulingPolicy],
+    *,
+    n_workers: int,
+    sim_config: SimulationConfig | None = None,
+) -> MultiWorkerResult:
+    """Run one workload on an ``n_workers`` cluster.
+
+    Parameters
+    ----------
+    specs:
+        The workload; the manager spreads it least-loaded-first.
+    policy_factory:
+        Builds a fresh policy per worker (e.g. ``lambda:
+        FlowConPolicy(cfg)``).
+    n_workers:
+        Cluster size (≥ 1).
+    sim_config:
+        Substrate parameters shared by all workers.
+    """
+    if not specs:
+        raise ExperimentError("run_multi_worker needs at least one spec")
+    if n_workers < 1:
+        raise ExperimentError(f"n_workers must be >= 1, got {n_workers!r}")
+    cfg = sim_config if sim_config is not None else SimulationConfig()
+
+    sim = Simulator(seed=cfg.seed, trace=cfg.trace)
+    workers = [
+        Worker(
+            sim,
+            name=f"worker-{i}",
+            capacity=cfg.capacity,
+            contention=cfg.contention,
+            allocation_mode=cfg.allocation_mode,
+        )
+        for i in range(n_workers)
+    ]
+    manager = Manager(sim, workers)
+    recorders: dict[str, MetricsRecorder] = {}
+    policies: dict[str, SchedulingPolicy] = {}
+    for worker in workers:
+        recorder = MetricsRecorder(worker, sample_interval=cfg.sample_interval)
+        recorder.start()
+        recorders[worker.name] = recorder
+        policy = policy_factory()
+        policy.attach(worker)
+        policies[worker.name] = policy
+
+    manager.submit_all(
+        [
+            JobSubmission(
+                label=s.label,
+                job=s.build_job(),
+                submit_time=s.submit_time,
+                image=MODEL_ZOO[s.model_key].image,
+            )
+            for s in specs
+        ]
+    )
+
+    expected = len(specs)
+    while sum(len(r.completions) for r in recorders.values()) < expected:
+        if cfg.horizon is not None and sim.now >= cfg.horizon:
+            break
+        if sim.step() is None:
+            raise ExperimentError(
+                f"cluster stalled at t={sim.now:.1f}s"
+            )
+    for policy in policies.values():
+        policy.detach()
+    for recorder in recorders.values():
+        recorder.stop()
+
+    completions: list[CompletionRecord] = [
+        c for r in recorders.values() for c in r.completions
+    ]
+    if not completions:
+        raise ExperimentError("no jobs completed")
+    per_worker = {
+        name: [c.label for c in recorder.completions]
+        for name, recorder in recorders.items()
+    }
+    return MultiWorkerResult(
+        summary=RunSummary(completions=completions),
+        per_worker=per_worker,
+        policies=policies,
+        recorders=recorders,
+        manager=manager,
+        sim=sim,
+    )

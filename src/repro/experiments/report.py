@@ -1,0 +1,98 @@
+"""ASCII rendering for bench output.
+
+The benchmarks print the regenerated figures and tables in a form that can
+be eyeballed against the paper: aligned tables for completion-time bars,
+sparkline-style strips for traces.  Everything returns strings so tests
+can assert on structure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_sparkline", "render_bars", "render_header"]
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def render_header(title: str, width: int = 78) -> str:
+    """A boxed section header."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned text table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_sparkline(
+    values: np.ndarray,
+    *,
+    width: int = 60,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Downsample *values* to *width* columns of block characters."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo = np.nanmin(values) if vmin is None else vmin
+    hi = np.nanmax(values) if vmax is None else vmax
+    if hi <= lo:
+        hi = lo + 1.0
+    scaled = (values - lo) / (hi - lo)
+    idx = np.clip((scaled * (len(_SPARK_CHARS) - 1)).round().astype(int),
+                  0, len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "s",
+) -> str:
+    """Horizontal bar chart (one row per label)."""
+    if not labels:
+        return ""
+    vmax = max(values) if values else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    for lab, val in zip(labels, values):
+        n = int(round(val / vmax * width))
+        lines.append(
+            f"{str(lab).ljust(label_w)} | {'█' * n}{' ' * (width - n)} "
+            f"{val:8.1f}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""The policy-agnostic scenario runner.
+
+One call = one run: assemble a fresh simulator, worker, manager, metrics
+recorder and policy; submit the workload; run to completion; return a
+:class:`RunResult`.  FlowCon-vs-NA comparisons call this twice with the
+same workload specs and simulation config — identical substrate, identical
+seeds, only the policy differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.manager import Manager
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.config import SimulationConfig
+from repro.core.policy import SchedulingPolicy
+from repro.errors import ExperimentError
+from repro.metrics.recorder import ContainerTrace, MetricsRecorder
+from repro.metrics.summary import RunSummary
+from repro.simcore.engine import Simulator
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.models import MODEL_ZOO
+
+__all__ = ["RunResult", "run_scenario"]
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one scenario run."""
+
+    policy_name: str
+    summary: RunSummary
+    recorder: MetricsRecorder
+    sim: Simulator
+    worker: Worker
+    manager: Manager
+
+    def trace(self, label: str) -> ContainerTrace:
+        """Shortcut to a job's recorded trace."""
+        return self.recorder.trace_by_label(label)
+
+    def completion_times(self) -> dict[str, float]:
+        """label → completion time."""
+        return self.summary.completion_times()
+
+    @property
+    def makespan(self) -> float:
+        """Overall makespan of the run."""
+        return self.summary.makespan
+
+
+def run_scenario(
+    specs: list[WorkloadSpec],
+    policy: SchedulingPolicy,
+    sim_config: SimulationConfig | None = None,
+) -> RunResult:
+    """Run one workload under one policy to completion.
+
+    Parameters
+    ----------
+    specs:
+        The workload (from :class:`~repro.workloads.generator
+        .WorkloadGenerator` or the scenario builders).
+    policy:
+        A fresh policy instance (policies hold per-run state; reusing one
+        across runs raises).
+    sim_config:
+        Substrate parameters; defaults to :class:`SimulationConfig()`.
+
+    Returns
+    -------
+    RunResult
+
+    Raises
+    ------
+    ExperimentError
+        On empty workloads or if the simulation stalls before all jobs
+        complete (a genuine bug signal, not a tunable).
+    """
+    if not specs:
+        raise ExperimentError("run_scenario needs at least one workload spec")
+    cfg = sim_config if sim_config is not None else SimulationConfig()
+
+    sim = Simulator(seed=cfg.seed, trace=cfg.trace)
+    worker = Worker(
+        sim,
+        capacity=cfg.capacity,
+        contention=cfg.contention,
+        allocation_mode=cfg.allocation_mode,
+    )
+    manager = Manager(sim, [worker])
+    recorder = MetricsRecorder(worker, sample_interval=cfg.sample_interval)
+    recorder.start()
+    policy.attach(worker)
+
+    submissions = []
+    for spec in specs:
+        job = spec.build_job()
+        profile = MODEL_ZOO[spec.model_key]
+        submissions.append(
+            JobSubmission(
+                label=spec.label,
+                job=job,
+                submit_time=spec.submit_time,
+                image=profile.image,
+            )
+        )
+    manager.submit_all(submissions)
+
+    expected = len(specs)
+    # Step until every job completes; periodic recorder/scheduler events
+    # would keep an unconditional run() alive forever.
+    while len(recorder.completions) < expected:
+        if cfg.horizon is not None and sim.now >= cfg.horizon:
+            break
+        event = sim.step()
+        if event is None:
+            raise ExperimentError(
+                f"simulation stalled at t={sim.now:.1f}s with "
+                f"{len(recorder.completions)}/{expected} jobs complete"
+            )
+
+    recorder.stop()
+    policy.detach()
+
+    if len(recorder.completions) < expected and cfg.horizon is None:
+        raise ExperimentError("run ended with incomplete jobs")
+
+    return RunResult(
+        policy_name=policy.name,
+        summary=recorder.summary(),
+        recorder=recorder,
+        sim=sim,
+        worker=worker,
+        manager=manager,
+    )

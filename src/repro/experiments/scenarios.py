@@ -1,0 +1,57 @@
+"""The paper's evaluation workloads (§5.2–§5.5).
+
+Scenario builders return :class:`~repro.workloads.generator.WorkloadSpec`
+lists.  Random scenarios are seeded and reproducible; the *same* spec list
+is fed to each policy being compared, so job sizes and arrival times are
+identical across FlowCon/NA runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simcore.rng import derive_seed
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "fixed_three_job",
+    "random_five_job",
+    "random_ten_job",
+    "random_fifteen_job",
+]
+
+
+def fixed_three_job() -> list[WorkloadSpec]:
+    """§5.3's fixed schedule.
+
+    "VAE on Pytorch starts at 0s, MNIST on Pytorch begins at 40s, and
+    MNIST on Tensorflow launches at 80s."
+    """
+    return WorkloadGenerator.paper_fixed_three_job()
+
+
+def _rng(seed: int, name: str) -> np.random.Generator:
+    return np.random.default_rng(derive_seed(seed, name))
+
+
+def random_five_job(seed: int = 42) -> list[WorkloadSpec]:
+    """§5.4's random schedule: five models, arrivals ~ U(0, 200) s.
+
+    The five models are the paper's mix — LSTM-CFC, VAE (PyTorch),
+    VAE (TensorFlow), MNIST (PyTorch) and GRU — labelled Job-1 … Job-5
+    in arrival order.
+    """
+    gen = WorkloadGenerator(_rng(seed, "random5"))
+    return gen.paper_random_five()
+
+
+def random_ten_job(seed: int = 42) -> list[WorkloadSpec]:
+    """§5.5.1's scalability workload: 10 jobs, arrivals ~ U(0, 200) s."""
+    gen = WorkloadGenerator(_rng(seed, "random10"))
+    return gen.random_mix(10)
+
+
+def random_fifteen_job(seed: int = 42) -> list[WorkloadSpec]:
+    """§5.5.2's scalability workload: 15 jobs, arrivals ~ U(0, 200) s."""
+    gen = WorkloadGenerator(_rng(seed, "random15"))
+    return gen.random_mix(15)

@@ -1,0 +1,83 @@
+"""Data generators for the paper's tables.
+
+* Table 1 — the tested-model inventory (model, evaluation function,
+  platform) with our calibrated parameters appended.
+* Table 2 — completion-time reduction of MNIST (TensorFlow) across
+  (α, itval) settings, extracted from the Fig. 4 and Fig. 5 sweeps exactly
+  as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figures import fig4_fixed_alpha10, fig5_fixed_itval20
+from repro.workloads.frameworks import FRAMEWORK_PROFILES
+from repro.workloads.models import MODEL_ZOO
+
+__all__ = ["Table1Row", "table1_model_zoo", "Table2Data", "table2_mnist_reduction"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1 (plus reproduction-specific columns)."""
+
+    model: str
+    eval_function: str
+    platform: str
+    base_work: float
+    cpu_demand: float
+
+
+def table1_model_zoo() -> list[Table1Row]:
+    """Table 1: the tested deep-learning models."""
+    rows = []
+    for profile in MODEL_ZOO.values():
+        fw = FRAMEWORK_PROFILES[profile.framework]
+        rows.append(
+            Table1Row(
+                model=profile.display_name,
+                eval_function=profile.evalfn.kind.value,
+                platform=fw.framework.short,
+                base_work=profile.base_work,
+                cpu_demand=profile.footprint.cpu_demand,
+            )
+        )
+    return rows
+
+
+@dataclass
+class Table2Data:
+    """Table 2: MNIST (TensorFlow) completion-time reduction vs NA.
+
+    Two columns like the paper's: a fixed-α sweep over itval (from
+    Fig. 4's data) and a fixed-itval sweep over α (from Fig. 5's data).
+    """
+
+    #: (α label, itval label) → reduction %, from the Fig. 4 sweep.
+    by_itval: dict[str, float]
+    #: (α label) → reduction %, from the Fig. 5 sweep.
+    by_alpha: dict[str, float]
+    job_label: str
+
+
+def table2_mnist_reduction(seed: int = 1) -> Table2Data:
+    """Compute Table 2 from the Fig. 4 / Fig. 5 sweeps.
+
+    The MNIST (TensorFlow) job is Job-3 of the fixed schedule (launched
+    at 80 s).
+    """
+    job = "Job-3"
+    fig4 = fig4_fixed_alpha10(seed)
+    fig5 = fig5_fixed_itval20(seed)
+    by_itval = {
+        label: fig4.reduction_vs_na(label, job)
+        for label in fig4.completion
+        if label != "NA"
+    }
+    by_alpha = {
+        label: fig5.reduction_vs_na(label, job)
+        for label in fig5.completion
+        if label != "NA"
+    }
+    return Table2Data(by_itval=by_itval, by_alpha=by_alpha, job_label=job)

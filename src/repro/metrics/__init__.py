@@ -1,0 +1,35 @@
+"""Telemetry: time series, recorders, summaries, export.
+
+The experiments need three data products, all produced here:
+
+* **traces** — per-container CPU usage / limit / evaluation-function /
+  growth-efficiency step series (Figs. 7–8, 10–11, 13–16);
+* **summaries** — completion times, makespan, overlaps and reduction
+  percentages (Figs. 3–6, 9, 12, 17 and Table 2);
+* **exports** — CSV/JSON serialization so bench output can be archived
+  and re-plotted outside this repository.
+"""
+
+from repro.metrics.export import series_to_csv, summary_to_json
+from repro.metrics.recorder import ContainerTrace, MetricsRecorder
+from repro.metrics.summary import (
+    CompletionRecord,
+    RunSummary,
+    jitter_index,
+    overlap_duration,
+    reduction_pct,
+)
+from repro.metrics.timeseries import StepSeries
+
+__all__ = [
+    "CompletionRecord",
+    "ContainerTrace",
+    "MetricsRecorder",
+    "RunSummary",
+    "StepSeries",
+    "jitter_index",
+    "overlap_duration",
+    "reduction_pct",
+    "series_to_csv",
+    "summary_to_json",
+]

@@ -1,0 +1,73 @@
+"""Serialization of metrics to CSV / JSON.
+
+Kept dependency-free (no pandas): benches call these helpers to archive
+regenerated figure data next to the printed report, so results can be
+re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Mapping
+
+import numpy as np
+
+from repro.metrics.summary import RunSummary
+from repro.metrics.timeseries import StepSeries
+
+__all__ = ["series_to_csv", "summary_to_json"]
+
+
+def series_to_csv(
+    series_by_name: Mapping[str, StepSeries],
+    *,
+    grid_step: float = 1.0,
+) -> str:
+    """Render several step series onto a common grid as CSV text.
+
+    The grid spans the union of all series' supports; a series is blank
+    outside its own support (before its first point / after its last).
+    """
+    named = {k: s for k, s in series_by_name.items() if not s.empty}
+    if not named:
+        return "time\n"
+    lo = min(s.t_start for s in named.values())
+    hi = max(s.t_end for s in named.values())
+    grid = np.arange(lo, hi + grid_step, grid_step)
+
+    buf = io.StringIO()
+    buf.write("time," + ",".join(named.keys()) + "\n")
+    columns = {}
+    for name, series in named.items():
+        vals = np.full(grid.shape, np.nan)
+        mask = (grid >= series.t_start) & (grid <= series.t_end)
+        if mask.any():
+            vals[mask] = series.resample(grid[mask])
+        columns[name] = vals
+    for i, t in enumerate(grid):
+        row = [f"{t:.3f}"]
+        for name in named:
+            v = columns[name][i]
+            row.append("" if np.isnan(v) else f"{v:.6f}")
+        buf.write(",".join(row) + "\n")
+    return buf.getvalue()
+
+
+def summary_to_json(summary: RunSummary, *, policy: str = "") -> str:
+    """Serialize a run summary (completion times + makespan) to JSON."""
+    payload = {
+        "policy": policy,
+        "makespan": summary.makespan,
+        "jobs": [
+            {
+                "label": c.label,
+                "image": c.image,
+                "submitted": c.submitted,
+                "finished": c.finished,
+                "completion_time": c.completion_time,
+            }
+            for c in sorted(summary.completions, key=lambda c: c.submitted)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

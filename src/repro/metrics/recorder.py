@@ -1,0 +1,171 @@
+"""The metrics recorder: policy-independent observation of a run.
+
+The recorder plays the role of the paper's measurement harness: it samples
+every running container at a fixed cadence and keeps per-container step
+series of CPU usage, limit, evaluation value and growth efficiency, plus
+completion records captured from worker exit hooks.  It is attached to
+*every* run — including NA — which is how the paper obtains growth-
+efficiency traces for the baseline (Figs. 13–14 plot ``G`` "in both
+FlowCon and NA").
+
+The recorder's sampling deliberately calls :meth:`Worker.poke`, which also
+re-samples contention jitter; the sampling grid therefore doubles as the
+OS-noise granularity (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.worker import Worker
+from repro.containers.container import Container
+from repro.containers.spec import ResourceType
+from repro.containers.stats import StatsSampler
+from repro.core.efficiency import GrowthTracker
+from repro.errors import MetricsError
+from repro.metrics.summary import CompletionRecord, RunSummary
+from repro.metrics.timeseries import StepSeries
+from repro.simcore.events import PRIORITY_SAMPLE, Event, EventKind
+
+__all__ = ["ContainerTrace", "MetricsRecorder"]
+
+
+@dataclass
+class ContainerTrace:
+    """All step series recorded for one container."""
+
+    cid: int
+    label: str
+    image: str
+    cpu_usage: StepSeries = field(default_factory=lambda: StepSeries("cpu"))
+    cpu_limit: StepSeries = field(default_factory=lambda: StepSeries("limit"))
+    eval_value: StepSeries = field(default_factory=lambda: StepSeries("eval"))
+    growth: StepSeries = field(default_factory=lambda: StepSeries("growth"))
+
+
+class MetricsRecorder:
+    """Samples one worker for the duration of a run.
+
+    Parameters
+    ----------
+    worker:
+        The worker to observe.
+    sample_interval:
+        Sampling cadence in seconds.
+    resource:
+        Resource dimension for the recorded growth efficiency.
+    """
+
+    def __init__(
+        self,
+        worker: Worker,
+        sample_interval: float = 5.0,
+        resource: ResourceType = ResourceType.CPU,
+    ) -> None:
+        if sample_interval <= 0:
+            raise MetricsError("sample_interval must be positive")
+        self.worker = worker
+        self.sample_interval = float(sample_interval)
+        self.traces: dict[int, ContainerTrace] = {}
+        self.completions: list[CompletionRecord] = []
+        self._tracker = GrowthTracker(resource)
+        self._sampler = StatsSampler()
+        self._handle = None
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Install hooks and begin sampling."""
+        if self._started:
+            return
+        self._started = True
+        self.worker.exit_hooks.append(self._on_exit)
+        self.worker.launch_hooks.append(self._on_launch)
+        self._schedule_sample()
+
+    def stop(self) -> None:
+        """Stop sampling (hooks remain; they only record)."""
+        self._started = False
+        if self._handle is not None:
+            self.worker.sim.cancel(self._handle)
+            self._handle = None
+
+    # -- sampling -------------------------------------------------------------------
+
+    def _schedule_sample(self) -> None:
+        self._handle = self.worker.sim.schedule_in(
+            self.sample_interval,
+            self._on_sample,
+            kind=EventKind.METRIC_SAMPLE,
+            priority=PRIORITY_SAMPLE,
+        )
+
+    def _on_sample(self, _event: Event) -> None:
+        if not self._started:
+            return
+        self.sample_now()
+        self._schedule_sample()
+
+    def sample_now(self) -> None:
+        """Take one sample of every running container immediately."""
+        self.worker.poke()
+        now = self.worker.sim.now
+        for container in self.worker.running_containers():
+            trace = self._trace_for(container)
+            stats = self._sampler.sample(container, now)
+            if stats is None:
+                continue
+            trace.cpu_usage.append(now, stats.mean_usage.cpu)
+            trace.cpu_limit.append(now, stats.cpu_limit)
+            if stats.eval_value is not None:
+                trace.eval_value.append(now, stats.eval_value)
+                sample = self._tracker.observe(
+                    container.cid, now, stats.eval_value, stats.mean_usage
+                )
+                if sample is not None:
+                    trace.growth.append(now, sample.growth)
+
+    # -- hooks ------------------------------------------------------------------------
+
+    def _on_launch(self, container: Container) -> None:
+        self._trace_for(container)
+
+    def _on_exit(self, container: Container) -> None:
+        trace = self.traces.get(container.cid)
+        if trace is not None:
+            trace.cpu_usage.append(self.worker.sim.now, 0.0)
+        self.completions.append(
+            CompletionRecord(
+                label=container.name,
+                image=container.image,
+                cid=container.cid,
+                submitted=container.created_at,
+                finished=container.finished_at,
+                completion_time=container.completion_time(),
+            )
+        )
+
+    def _trace_for(self, container: Container) -> ContainerTrace:
+        trace = self.traces.get(container.cid)
+        if trace is None:
+            trace = ContainerTrace(
+                cid=container.cid, label=container.name, image=container.image
+            )
+            self.traces[container.cid] = trace
+        return trace
+
+    # -- results -----------------------------------------------------------------------
+
+    def trace_by_label(self, label: str) -> ContainerTrace:
+        """Trace for a job label (container name)."""
+        for trace in self.traces.values():
+            if trace.label == label:
+                return trace
+        raise MetricsError(f"no trace recorded for label {label!r}")
+
+    def summary(self) -> RunSummary:
+        """Completion-time summary for the whole run."""
+        if not self.completions:
+            raise MetricsError("no completions recorded yet")
+        return RunSummary(completions=list(self.completions))

@@ -1,0 +1,152 @@
+"""Run summaries and the paper's evaluation metrics.
+
+§5.2 defines three metrics; all are computed here:
+
+* **overall makespan** — "the total length of the schedule for all the
+  jobs in the system": first submission to last completion;
+* **individual job completion time** — per-job submission-to-exit
+  duration (the paper's per-job bars in Figs. 3–6, 9, 12, 17);
+* **CPU usage** — recorded as traces by the recorder; this module adds
+  the *jitter index* used to compare Fig. 15 vs Fig. 16 quantitatively.
+
+Plus the derived quantities quoted in the text: pairwise job *overlap*
+(§5.3's explanation of makespan gains) and *reduction percentages*
+(Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MetricsError
+from repro.metrics.timeseries import StepSeries
+
+__all__ = [
+    "CompletionRecord",
+    "RunSummary",
+    "reduction_pct",
+    "overlap_duration",
+    "jitter_index",
+]
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One finished job."""
+
+    label: str
+    image: str
+    cid: int
+    submitted: float
+    finished: float
+    completion_time: float
+
+
+@dataclass
+class RunSummary:
+    """Completion metrics for one policy × workload run."""
+
+    completions: list[CompletionRecord]
+
+    def __post_init__(self) -> None:
+        if not self.completions:
+            raise MetricsError("RunSummary needs at least one completion")
+
+    # -- §5.2 metrics -------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """First submission to last completion."""
+        start = min(c.submitted for c in self.completions)
+        end = max(c.finished for c in self.completions)
+        return end - start
+
+    def completion_time(self, label: str) -> float:
+        """Completion time of one job by label."""
+        for c in self.completions:
+            if c.label == label:
+                return c.completion_time
+        raise MetricsError(f"no completion recorded for {label!r}")
+
+    def completion_times(self) -> dict[str, float]:
+        """label → completion time, in label order."""
+        return {
+            c.label: c.completion_time
+            for c in sorted(self.completions, key=lambda c: c.label)
+        }
+
+    def labels(self) -> list[str]:
+        """Job labels in submission order."""
+        return [c.label for c in sorted(self.completions, key=lambda c: c.submitted)]
+
+    # -- derived ---------------------------------------------------------------------
+
+    def interval_of(self, label: str) -> tuple[float, float]:
+        """``(submitted, finished)`` for one job."""
+        for c in self.completions:
+            if c.label == label:
+                return (c.submitted, c.finished)
+        raise MetricsError(f"no completion recorded for {label!r}")
+
+    def overlap(self, *labels: str) -> float:
+        """Duration during which *all* given jobs ran concurrently (§5.3)."""
+        if len(labels) < 2:
+            raise MetricsError("overlap needs at least two jobs")
+        intervals = [self.interval_of(label) for label in labels]
+        lo = max(start for start, _ in intervals)
+        hi = min(end for _, end in intervals)
+        return max(0.0, hi - lo)
+
+    def total_concurrency_seconds(self) -> float:
+        """∫ (active jobs − 1)⁺ dt — aggregate overlap pressure."""
+        edges = sorted(
+            {c.submitted for c in self.completions}
+            | {c.finished for c in self.completions}
+        )
+        total = 0.0
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            active = sum(
+                1 for c in self.completions if c.submitted <= lo and c.finished >= hi
+            )
+            total += max(0, active - 1) * (hi - lo)
+        return total
+
+
+def reduction_pct(baseline: float, improved: float) -> float:
+    """Percentage reduction relative to *baseline* (positive = faster).
+
+    Table 2 reports exactly this: ``(NA − FlowCon) / NA · 100``.
+    """
+    if baseline <= 0:
+        raise MetricsError(f"baseline must be positive, got {baseline!r}")
+    return (baseline - improved) / baseline * 100.0
+
+
+def overlap_duration(
+    a: tuple[float, float], b: tuple[float, float]
+) -> float:
+    """Overlap of two ``(start, end)`` intervals."""
+    return max(0.0, min(a[1], b[1]) - max(a[0], b[0]))
+
+
+def jitter_index(series: StepSeries, t0: float | None = None,
+                 t1: float | None = None, grid_step: float = 1.0) -> float:
+    """Mean absolute first difference of a usage trace on a uniform grid.
+
+    Quantifies Fig. 15-vs-16's qualitative claim ("the resource usage for
+    each container is much smoother" under FlowCon): free competition
+    produces larger sample-to-sample swings, hence a larger index.
+    """
+    if series.empty or len(series) < 2:
+        return 0.0
+    lo = series.t_start if t0 is None else t0
+    hi = series.t_end if t1 is None else t1
+    if hi <= lo:
+        return 0.0
+    grid = np.arange(lo, hi, grid_step)
+    if grid.size < 2:
+        return 0.0
+    values = series.resample(grid)
+    return float(np.mean(np.abs(np.diff(values))))

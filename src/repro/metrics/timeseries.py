@@ -1,0 +1,136 @@
+"""Step-function time series.
+
+The simulated system's observables (allocations, limits, usage averages)
+are piecewise-constant, so the natural series type holds ``(t_i, v_i)``
+meaning "value ``v_i`` from ``t_i`` until the next point".  Storage is a
+pair of growing Python lists converted lazily to numpy for queries —
+append-heavy recording stays O(1), analytics stay vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricsError
+
+__all__ = ["StepSeries"]
+
+
+class StepSeries:
+    """Append-only piecewise-constant series."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    # -- building ----------------------------------------------------------------
+
+    def append(self, time: float, value: float) -> None:
+        """Record that the series takes *value* from *time* onward.
+
+        Times must be non-decreasing; equal-time appends overwrite (the
+        latest observation at an instant wins, matching how settlement
+        followed by reallocation updates state at one event time).
+        """
+        if self._times and time < self._times[-1] - 1e-12:
+            raise MetricsError(
+                f"series {self.name!r}: non-monotonic time {time!r} "
+                f"after {self._times[-1]!r}"
+            )
+        if self._times and abs(time - self._times[-1]) <= 1e-12:
+            self._values[-1] = float(value)
+        else:
+            self._times.append(float(time))
+            self._values.append(float(value))
+        self._cache = None
+
+    # -- raw access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no points have been recorded."""
+        return not self._times
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` as float64 arrays (cached)."""
+        if self._cache is None:
+            self._cache = (
+                np.asarray(self._times, dtype=np.float64),
+                np.asarray(self._values, dtype=np.float64),
+            )
+        return self._cache
+
+    @property
+    def t_start(self) -> float:
+        """First recorded time."""
+        self._require_data()
+        return self._times[0]
+
+    @property
+    def t_end(self) -> float:
+        """Last recorded time."""
+        self._require_data()
+        return self._times[-1]
+
+    # -- queries ------------------------------------------------------------------
+
+    def value_at(self, t: float) -> float:
+        """Series value at time *t* (left-step semantics)."""
+        self._require_data()
+        times, values = self.arrays()
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        if idx < 0:
+            raise MetricsError(
+                f"series {self.name!r}: query at {t!r} precedes first point"
+            )
+        return float(values[idx])
+
+    def resample(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value_at` over a time grid."""
+        self._require_data()
+        times, values = self.arrays()
+        idx = np.searchsorted(times, grid, side="right") - 1
+        if np.any(idx < 0):
+            raise MetricsError(
+                f"series {self.name!r}: grid precedes first point"
+            )
+        return values[idx]
+
+    def integral(self, t0: float | None = None, t1: float | None = None) -> float:
+        """∫ value dt over ``[t0, t1]`` (defaults to the full span)."""
+        self._require_data()
+        times, values = self.arrays()
+        lo = self.t_start if t0 is None else t0
+        hi = self.t_end if t1 is None else t1
+        if hi <= lo:
+            return 0.0
+        # Build the knot sequence clipped to [lo, hi].
+        edges = np.concatenate(([lo], times[(times > lo) & (times < hi)], [hi]))
+        mids = self.resample(edges[:-1])
+        return float(np.sum(mids * np.diff(edges)))
+
+    def mean(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Time-weighted mean over ``[t0, t1]``."""
+        self._require_data()
+        lo = self.t_start if t0 is None else t0
+        hi = self.t_end if t1 is None else t1
+        if hi <= lo:
+            raise MetricsError(f"empty mean window [{lo!r}, {hi!r}]")
+        return self.integral(lo, hi) / (hi - lo)
+
+    def _require_data(self) -> None:
+        if not self._times:
+            raise MetricsError(f"series {self.name!r} is empty")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.empty:
+            return f"StepSeries({self.name!r}, empty)"
+        return (
+            f"StepSeries({self.name!r}, n={len(self)}, "
+            f"span=[{self.t_start:.3g}, {self.t_end:.3g}])"
+        )

@@ -1,0 +1,180 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the clock, the event queue, the RNG registry and
+the tracer, and exposes a tiny scheduling API.  Higher layers (container
+runtime, cluster, FlowCon executor) are plain objects that hold a reference
+to the simulator and schedule callbacks on it; there are no coroutines or
+threads, which keeps replay fully deterministic.
+
+Design notes
+------------
+* Time between events is advanced analytically by whoever owns continuous
+  state (the :class:`~repro.cluster.worker.Worker` integrates job progress);
+  the engine only orders callbacks.
+* ``run()`` executes until the queue is exhausted, a time horizon is hit,
+  or an event-count safety valve trips (runaway-loop protection: a correct
+  simulation of this system needs O(jobs × reconfigurations) events, so an
+  enormous count always indicates a bug, not a big workload).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.simcore.clock import SimClock
+from repro.simcore.equeue import EventHandle, EventQueue
+from repro.simcore.events import Event, EventCallback, EventKind
+from repro.simcore.rng import RngRegistry
+from repro.simcore.tracing import Tracer
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic event loop.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all random streams (see :class:`RngRegistry`).
+    trace:
+        Whether to keep a structured trace of the run.
+    max_events:
+        Hard cap on processed events; exceeded ⇒ :class:`SimulationError`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: bool = True,
+        max_events: int = 5_000_000,
+    ) -> None:
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        self.rngs = RngRegistry(seed)
+        self.tracer = Tracer(enabled=trace)
+        self.max_events = int(max_events)
+        self.events_processed = 0
+        self._running = False
+
+    # -- scheduling --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.clock.now
+
+    def schedule(
+        self,
+        time: float,
+        callback: EventCallback | None,
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        priority: int = 0,
+        payload: Any = None,
+    ) -> EventHandle:
+        """Schedule *callback* at absolute simulation *time*.
+
+        Scheduling in the past raises :class:`SimulationError` — the system
+        being modelled cannot react before it observes.
+        """
+        if time < self.clock.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self.clock.now!r}"
+            )
+        event = Event(
+            time=max(time, self.clock.now),
+            kind=kind,
+            callback=callback,
+            priority=priority,
+            payload=payload,
+        )
+        return self.queue.push(event)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: EventCallback | None,
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        priority: int = 0,
+        payload: Any = None,
+    ) -> EventHandle:
+        """Schedule *callback* ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule(
+            self.clock.now + delay,
+            callback,
+            kind=kind,
+            priority=priority,
+            payload=payload,
+        )
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self.queue.cancel(handle)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> Event | None:
+        """Fire the single earliest event; ``None`` when the queue is empty."""
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self.events_processed += 1
+        if self.events_processed > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; "
+                "likely a runaway scheduling loop"
+            )
+        event.fire()
+        return event
+
+    def run(self, until: float | None = None) -> float:
+        """Run the loop.
+
+        Parameters
+        ----------
+        until:
+            Optional time horizon.  Events at exactly ``until`` still fire;
+            later ones stay queued and the clock stops at ``until``.
+
+        Returns
+        -------
+        float
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        try:
+            while self.queue:
+                next_t = self.queue.peek_time()
+                if next_t is None:
+                    break
+                if until is not None and next_t > until:
+                    self.clock.advance_to(until)
+                    break
+                self.step()
+            if until is not None and self.clock.now < until:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def run_until_empty(self) -> float:
+        """Run with no horizon until the event queue drains."""
+        return self.run(until=None)
+
+    def trace(self, topic: str, message: str, **data: Any) -> None:
+        """Record a trace line stamped with the current time."""
+        self.tracer.record(self.clock.now, topic, message, **data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.clock.now:.6g}, queued={len(self.queue)}, "
+            f"processed={self.events_processed})"
+        )

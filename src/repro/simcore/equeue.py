@@ -1,0 +1,112 @@
+"""Binary-heap event queue with lazy cancellation.
+
+The engine frequently needs to *reschedule* a container's projected exit
+event when allocations change (the projected finish time moves).  Removing
+an arbitrary element from a binary heap is O(n), so instead we use the
+classic *lazy deletion* technique: :meth:`EventQueue.cancel` marks a handle
+dead in O(1) and dead events are skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import EventQueueError
+from repro.simcore.events import Event
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+@dataclass
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.push`.
+
+    Holding a handle allows O(1) cancellation of the scheduled event.
+    """
+
+    event: Event
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Mark the underlying event dead (idempotent)."""
+        self.cancelled = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the event is still eligible to fire."""
+        return not self.cancelled
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Determinism comes from :meth:`Event.sort_key`: ties on time are broken
+    by priority then by scheduling order, so identical runs replay
+    identically.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], EventHandle]] = []
+        self._live = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def push(self, event: Event) -> EventHandle:
+        """Schedule *event*, returning a cancellable handle."""
+        handle = EventHandle(event)
+        heapq.heappush(self._heap, (event.sort_key(), handle))
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously-pushed event (idempotent)."""
+        if handle.alive:
+            handle.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        EventQueueError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            _, handle = heapq.heappop(self._heap)
+            if handle.alive:
+                handle.cancel()  # consumed: prevents double-count in _live
+                self._live -= 1
+                return handle.event
+        raise EventQueueError("pop from an empty event queue")
+
+    def clear(self) -> None:
+        """Drop every event, live or dead."""
+        self._heap.clear()
+        self._live = 0
+
+    # -- inspection --------------------------------------------------------
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event, or ``None`` when empty."""
+        self._compact_head()
+        if not self._heap:
+            return None
+        return self._heap[0][1].event.time
+
+    def _compact_head(self) -> None:
+        """Pop dead entries sitting at the heap root."""
+        while self._heap and not self._heap[0][1].alive:
+            heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        """Number of *live* events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nxt = self.peek_time()
+        return f"EventQueue(live={self._live}, next_t={nxt})"

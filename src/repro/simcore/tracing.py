@@ -1,0 +1,117 @@
+"""Structured in-memory simulation traces.
+
+The tracer is the simulator's flight recorder: every interesting state
+transition (container started, limit updated, list transition, back-off
+doubled, ...) is appended as a :class:`TraceRecord`.  Tests assert on the
+trace; the experiment harness mines it for figures; and it doubles as a
+debugging log that can be dumped as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the occurrence.
+    topic:
+        Dotted topic string, e.g. ``"runtime.update"`` or ``"core.list_move"``.
+    message:
+        Human-readable one-liner.
+    data:
+        Structured payload for programmatic consumers.
+    """
+
+    time: float
+    topic: str
+    message: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render as a fixed-width log line."""
+        return f"[{self.time:10.3f}] {self.topic:<24} {self.message}"
+
+
+class Tracer:
+    """Append-only trace with topic filtering.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` the tracer drops records at the door, making tracing
+        zero-cost for large benchmark sweeps.
+    max_records:
+        Safety valve; beyond this many records the oldest are *not*
+        discarded — recording simply stops and :attr:`truncated` is set.
+        Losing the tail loudly beats silently unbounded memory.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: int = 2_000_000):
+        self.enabled = enabled
+        self.max_records = int(max_records)
+        self.truncated = False
+        self._records: list[TraceRecord] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        time: float,
+        topic: str,
+        message: str,
+        **data: Any,
+    ) -> None:
+        """Append one record (no-op when disabled or truncated)."""
+        if not self.enabled or self.truncated:
+            return
+        if len(self._records) >= self.max_records:
+            self.truncated = True
+            return
+        self._records.append(TraceRecord(time, topic, message, data))
+
+    # -- querying ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(self, topic: str | None = None) -> list[TraceRecord]:
+        """All records, optionally filtered by topic prefix."""
+        if topic is None:
+            return list(self._records)
+        prefix = topic.rstrip(".")
+        return [
+            r
+            for r in self._records
+            if r.topic == prefix or r.topic.startswith(prefix + ".")
+        ]
+
+    def topics(self) -> set[str]:
+        """Distinct topics seen so far."""
+        return {r.topic for r in self._records}
+
+    def clear(self) -> None:
+        """Drop all records and reset truncation."""
+        self._records.clear()
+        self.truncated = False
+
+    def dump(self, topic: str | None = None) -> str:
+        """Render (a filtered view of) the trace as text."""
+        return "\n".join(r.format() for r in self.records(topic))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(enabled={self.enabled}, n={len(self._records)}, "
+            f"truncated={self.truncated})"
+        )

@@ -1,0 +1,52 @@
+"""Deep-learning training-job models.
+
+The paper trains real PyTorch/TensorFlow models; FlowCon observes only two
+things about them: the evaluation-function trajectory ``E(t)`` and resource
+usage.  This package substitutes analytic training jobs that expose the
+same observables:
+
+* :mod:`~repro.workloads.curves` — convergence-curve families ``E(p)``
+  parameterized over the fraction ``p`` of total training work done; they
+  reproduce the strongly concave trajectories of the paper's Fig. 1.
+* :mod:`~repro.workloads.evalfn` — the evaluation-function kinds of
+  Table 1 (reconstruction loss, cross entropy, softmax, squared/quadratic
+  loss) with their scales and directions.
+* :mod:`~repro.workloads.job` — :class:`TrainingJob`: total work in
+  CPU-seconds, demand ceiling, warm-up, progress integration.
+* :mod:`~repro.workloads.models` — the model zoo of Table 1 calibrated to
+  the paper's observed behaviour.
+* :mod:`~repro.workloads.frameworks` — PyTorch/TensorFlow profiles.
+* :mod:`~repro.workloads.generator` — fixed & random workload schedules.
+"""
+
+from repro.workloads.curves import (
+    ConvergenceCurve,
+    ExponentialCurve,
+    PiecewiseLinearCurve,
+    PowerLawCurve,
+    SigmoidCurve,
+)
+from repro.workloads.evalfn import EvalDirection, EvalFunction, EvalKind
+from repro.workloads.frameworks import Framework, FrameworkProfile
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.job import TrainingJob
+from repro.workloads.models import MODEL_ZOO, ModelProfile, make_job
+
+__all__ = [
+    "MODEL_ZOO",
+    "ConvergenceCurve",
+    "EvalDirection",
+    "EvalFunction",
+    "EvalKind",
+    "ExponentialCurve",
+    "Framework",
+    "FrameworkProfile",
+    "ModelProfile",
+    "PiecewiseLinearCurve",
+    "PowerLawCurve",
+    "SigmoidCurve",
+    "TrainingJob",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "make_job",
+]

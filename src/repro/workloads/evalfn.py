@@ -1,0 +1,114 @@
+"""Evaluation-function kinds (Table 1, column 2).
+
+Each model in the paper's zoo reports progress through its own evaluation
+function — reconstruction loss for the VAE, cross entropy for MNIST,
+softmax accuracy for the LSTM-CFC and Bi-RNN, squared loss for the
+LSTM-CRF, quadratic loss for the GRU.  FlowCon is metric-agnostic: Eq. 1
+takes ``|ΔE|``, so only the *scale* and *direction* of a metric matter to
+the dynamics.  :class:`EvalFunction` carries exactly those.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["EvalKind", "EvalDirection", "EvalFunction"]
+
+
+class EvalDirection(enum.Enum):
+    """Whether training drives the metric down (loss) or up (accuracy)."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+class EvalKind(enum.Enum):
+    """The evaluation-function families named in Table 1."""
+
+    RECONSTRUCTION_LOSS = "reconstruction_loss"
+    CROSS_ENTROPY = "cross_entropy"
+    SOFTMAX_ACCURACY = "softmax"
+    SQUARED_LOSS = "squared_loss"
+    QUADRATIC_LOSS = "quadratic_loss"
+    INCEPTION_SCORE = "inception_score"  # mentioned in §3.3 as an example
+
+    @property
+    def direction(self) -> EvalDirection:
+        """Canonical optimization direction for the metric family."""
+        if self in (EvalKind.SOFTMAX_ACCURACY, EvalKind.INCEPTION_SCORE):
+            return EvalDirection.MAXIMIZE
+        return EvalDirection.MINIMIZE
+
+
+#: Typical (start, converged) values per kind, used as defaults when a
+#: model profile does not override them.  The absolute numbers only set the
+#: scale of G traces (cf. the 10× scale difference between Fig. 13 and
+#: Fig. 14); the dynamics depend on the curve shape.
+_DEFAULT_RANGE: dict[EvalKind, tuple[float, float]] = {
+    EvalKind.RECONSTRUCTION_LOSS: (550.0, 100.0),
+    EvalKind.CROSS_ENTROPY: (2.30, 0.08),
+    EvalKind.SOFTMAX_ACCURACY: (0.10, 0.97),
+    EvalKind.SQUARED_LOSS: (1.00, 0.04),
+    EvalKind.QUADRATIC_LOSS: (0.90, 0.05),
+    EvalKind.INCEPTION_SCORE: (1.00, 8.00),
+}
+
+
+@dataclass(frozen=True)
+class EvalFunction:
+    """A concrete evaluation function: kind + value range.
+
+    Attributes
+    ----------
+    kind:
+        Metric family.
+    start:
+        Value at initialization (progress 0).
+    converged:
+        Value at full convergence (progress 1).
+    """
+
+    kind: EvalKind
+    start: float
+    converged: float
+
+    def __post_init__(self) -> None:
+        if self.start == self.converged:
+            raise ConfigError(
+                "evaluation function must change over training "
+                f"(start == converged == {self.start!r})"
+            )
+        direction = self.kind.direction
+        if direction is EvalDirection.MINIMIZE and self.start < self.converged:
+            raise ConfigError(
+                f"{self.kind.value} is minimized but start {self.start!r} "
+                f"< converged {self.converged!r}"
+            )
+        if direction is EvalDirection.MAXIMIZE and self.start > self.converged:
+            raise ConfigError(
+                f"{self.kind.value} is maximized but start {self.start!r} "
+                f"> converged {self.converged!r}"
+            )
+
+    @classmethod
+    def default(cls, kind: EvalKind) -> "EvalFunction":
+        """Canonical instance for *kind* with typical value range."""
+        start, converged = _DEFAULT_RANGE[kind]
+        return cls(kind=kind, start=start, converged=converged)
+
+    @property
+    def direction(self) -> EvalDirection:
+        """Optimization direction."""
+        return self.kind.direction
+
+    @property
+    def total_change(self) -> float:
+        """``|converged − start|`` — the scale of the progress signal."""
+        return abs(self.converged - self.start)
+
+    def normalized(self, value: float) -> float:
+        """Map a raw metric value to improvement fraction in [0, 1]."""
+        return abs(value - self.start) / self.total_change

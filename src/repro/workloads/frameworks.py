@@ -1,0 +1,79 @@
+"""Framework profiles: PyTorch vs TensorFlow.
+
+Table 1 runs the same architectures on two frameworks, and the paper's
+traces show framework-level differences FlowCon is exposed to:
+
+* **start-up overhead** — interpreter + graph-construction work before the
+  first useful gradient step (visible as the flat lead-in of Fig. 1
+  curves), modelled as warm-up work that produces no ``E(t)`` movement;
+* **CPU saturation** — the TF1-era session runner on this class of models
+  achieves slightly lower peak CPU utilization than the PyTorch eager loop
+  (Fig. 11 shows the LSTM-CFC job idling part of the node), modelled as a
+  multiplicative demand cap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["Framework", "FrameworkProfile", "FRAMEWORK_PROFILES"]
+
+
+class Framework(enum.Enum):
+    """DL frameworks used in the paper's evaluation."""
+
+    PYTORCH = "pytorch"
+    TENSORFLOW = "tensorflow"
+
+    @property
+    def short(self) -> str:
+        """Single-letter tag as used in Table 1 ('P'/'T')."""
+        return "P" if self is Framework.PYTORCH else "T"
+
+
+@dataclass(frozen=True)
+class FrameworkProfile:
+    """Per-framework execution characteristics.
+
+    Attributes
+    ----------
+    framework:
+        Which framework this profile describes.
+    startup_work:
+        Warm-up CPU-seconds consumed before training signal appears
+        (imports, graph building, data-pipeline spin-up).
+    demand_factor:
+        Multiplier in ``(0, 1]`` applied to a model's CPU demand ceiling.
+    image_prefix:
+        Docker-image naming prefix used for container labels.
+    """
+
+    framework: Framework
+    startup_work: float
+    demand_factor: float
+    image_prefix: str
+
+    def __post_init__(self) -> None:
+        if self.startup_work < 0:
+            raise ConfigError("startup_work must be non-negative")
+        if not 0.0 < self.demand_factor <= 1.0:
+            raise ConfigError("demand_factor must lie in (0, 1]")
+
+
+FRAMEWORK_PROFILES: dict[Framework, FrameworkProfile] = {
+    Framework.PYTORCH: FrameworkProfile(
+        framework=Framework.PYTORCH,
+        startup_work=2.0,
+        demand_factor=1.0,
+        image_prefix="pytorch",
+    ),
+    Framework.TENSORFLOW: FrameworkProfile(
+        framework=Framework.TENSORFLOW,
+        startup_work=4.0,
+        demand_factor=0.97,
+        image_prefix="tensorflow",
+    ),
+}

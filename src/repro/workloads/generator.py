@@ -1,0 +1,153 @@
+"""Workload schedules: who arrives when.
+
+The paper evaluates three submission patterns (§5.2): *fixed* schedules
+where the administrator pins launch times, *random* schedules where jobs
+arrive uniformly in a window (0–200 s in §5.4/§5.5), and *scalability*
+runs with 10 and 15 jobs.  :class:`WorkloadGenerator` builds all of them as
+lists of :class:`WorkloadSpec`, reproducibly from a seeded stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.job import TrainingJob
+from repro.workloads.models import MODEL_ZOO, make_job
+
+__all__ = ["WorkloadSpec", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One planned job submission.
+
+    Attributes
+    ----------
+    model_key:
+        Zoo key of the model to train.
+    submit_time:
+        Simulation time at which the manager receives the job.
+    label:
+        Experiment-facing job label (``"Job-1"`` …) in *submission order*,
+        matching the paper's numbering in Figs. 9–17.
+    work_scale:
+        Job-size multiplier forwarded to :func:`make_job`.
+    """
+
+    model_key: str
+    submit_time: float
+    label: str
+    work_scale: float = 1.0
+
+    def build_job(self, rng: np.random.Generator | None = None,
+                  size_jitter: float = 0.0) -> TrainingJob:
+        """Materialize the training job for this submission."""
+        return make_job(
+            self.model_key,
+            work_scale=self.work_scale,
+            rng=rng,
+            size_jitter=size_jitter,
+        )
+
+
+class WorkloadGenerator:
+    """Builds fixed and random submission schedules.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator for arrival times and model draws; pass streams
+        from :class:`repro.simcore.rng.RngRegistry` for reproducibility.
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    # -- fixed schedules -------------------------------------------------------
+
+    @staticmethod
+    def fixed(schedule: list[tuple[str, float]]) -> list[WorkloadSpec]:
+        """Fixed schedule from ``(model_key, submit_time)`` pairs."""
+        specs = []
+        for i, (key, t) in enumerate(schedule, start=1):
+            if key not in MODEL_ZOO:
+                raise WorkloadError(f"unknown model key {key!r}")
+            if t < 0:
+                raise WorkloadError(f"negative submit time {t!r}")
+            specs.append(WorkloadSpec(key, float(t), f"Job-{i}"))
+        return specs
+
+    @staticmethod
+    def paper_fixed_three_job() -> list[WorkloadSpec]:
+        """§5.3's fixed schedule: VAE@0 s, MNIST-P@40 s, MNIST-T@80 s."""
+        return WorkloadGenerator.fixed(
+            [
+                ("vae@pytorch", 0.0),
+                ("mnist@pytorch", 40.0),
+                ("mnist@tensorflow", 80.0),
+            ]
+        )
+
+    # -- random schedules --------------------------------------------------------
+
+    def random(
+        self,
+        model_keys: list[str],
+        *,
+        window: tuple[float, float] = (0.0, 200.0),
+        sort_by_time: bool = True,
+    ) -> list[WorkloadSpec]:
+        """Random arrivals: one job per key, times ~ U(window).
+
+        Jobs are labelled ``Job-1`` … ``Job-n`` in arrival order
+        (the paper "marks responsible jobs as 1, 2, …" by submission).
+        """
+        lo, hi = window
+        if hi <= lo:
+            raise WorkloadError(f"empty arrival window {window!r}")
+        for key in model_keys:
+            if key not in MODEL_ZOO:
+                raise WorkloadError(f"unknown model key {key!r}")
+        times = self._rng.uniform(lo, hi, size=len(model_keys))
+        pairs = list(zip(model_keys, times))
+        if sort_by_time:
+            pairs.sort(key=lambda kv: kv[1])
+        return [
+            WorkloadSpec(key, float(t), f"Job-{i}")
+            for i, (key, t) in enumerate(pairs, start=1)
+        ]
+
+    def paper_random_five(self) -> list[WorkloadSpec]:
+        """§5.4's five-model random mix: LSTM-CFC, VAE, VAE-T, MNIST, GRU."""
+        return self.random(
+            [
+                "lstm_cfc@tensorflow",
+                "vae@pytorch",
+                "vae@tensorflow",
+                "mnist@pytorch",
+                "gru@tensorflow",
+            ]
+        )
+
+    def random_mix(
+        self,
+        n_jobs: int,
+        *,
+        window: tuple[float, float] = (0.0, 200.0),
+        pool: list[str] | None = None,
+    ) -> list[WorkloadSpec]:
+        """§5.5's scalability mixes: *n_jobs* drawn with replacement."""
+        if n_jobs <= 0:
+            raise WorkloadError(f"n_jobs must be positive, got {n_jobs!r}")
+        if pool is None:
+            from repro.workloads.models import PAPER_POOL
+
+            pool = list(PAPER_POOL)
+        for key in pool:
+            if key not in MODEL_ZOO:
+                raise WorkloadError(f"unknown model key {key!r}")
+        keys = [pool[int(i)] for i in self._rng.integers(0, len(pool), n_jobs)]
+        return self.random(keys, window=window)

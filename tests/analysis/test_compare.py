@@ -1,0 +1,57 @@
+"""Unit tests for comparison reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import compare_runs
+from repro.errors import MetricsError
+from repro.metrics.summary import CompletionRecord, RunSummary
+
+
+def summary(records):
+    return RunSummary(
+        [
+            CompletionRecord(label, "img", i, sub, fin, fin - sub)
+            for i, (label, sub, fin) in enumerate(records)
+        ]
+    )
+
+
+class TestCompareRuns:
+    def test_reductions_per_job(self):
+        na = summary([("Job-1", 0, 100), ("Job-2", 0, 200)])
+        fc = summary([("Job-1", 0, 80), ("Job-2", 0, 220)])
+        report = compare_runs(na, fc)
+        assert report.reductions["Job-1"] == pytest.approx(20.0)
+        assert report.reductions["Job-2"] == pytest.approx(-10.0)
+
+    def test_win_loss_counts(self):
+        na = summary([("a", 0, 100), ("b", 0, 100), ("c", 0, 100)])
+        fc = summary([("a", 0, 90), ("b", 0, 110), ("c", 0, 50)])
+        report = compare_runs(na, fc)
+        assert report.wins == 2 and report.losses == 1 and report.n_jobs == 3
+
+    def test_best_and_worst(self):
+        na = summary([("a", 0, 100), ("b", 0, 100)])
+        fc = summary([("a", 0, 60), ("b", 0, 130)])
+        report = compare_runs(na, fc)
+        assert report.best == ("a", pytest.approx(40.0))
+        assert report.worst == ("b", pytest.approx(-30.0))
+
+    def test_makespan_reduction(self):
+        na = summary([("a", 0, 200)])
+        fc = summary([("a", 0, 190)])
+        report = compare_runs(na, fc)
+        assert report.makespan_reduction == pytest.approx(5.0)
+
+    def test_mismatched_jobs_rejected(self):
+        na = summary([("a", 0, 100)])
+        fc = summary([("b", 0, 100)])
+        with pytest.raises(MetricsError):
+            compare_runs(na, fc)
+
+    def test_mean_reduction(self):
+        na = summary([("a", 0, 100), ("b", 0, 100)])
+        fc = summary([("a", 0, 80), ("b", 0, 90)])
+        assert compare_runs(na, fc).mean_reduction() == pytest.approx(15.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the Gandiva-style time-slicing baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.timeslice import TimeSlicePolicy
+from repro.errors import ConfigError
+from tests.conftest import make_linear_job
+
+
+class TestValidation:
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(ConfigError):
+            TimeSlicePolicy(quantum=0.0)
+
+    def test_bad_background_share_rejected(self):
+        for bad in (0.0, 1.0):
+            with pytest.raises(ConfigError):
+                TimeSlicePolicy(background_share=bad)
+
+    def test_name(self):
+        assert TimeSlicePolicy(quantum=15.0).name == "TimeSlice-15s"
+
+
+class TestRotation:
+    def test_one_favored_container_per_quantum(self, sim, ideal_worker):
+        policy = TimeSlicePolicy(quantum=10.0, background_share=0.05)
+        policy.attach(ideal_worker)
+        a = ideal_worker.launch(make_linear_job("a", total_work=1000.0))
+        b = ideal_worker.launch(make_linear_job("b", total_work=1000.0))
+        sim.run(until=11.0)
+        limits = sorted([a.limits.cpu, b.limits.cpu])
+        assert limits == pytest.approx([0.05, 1.0])
+
+    def test_slice_rotates(self, sim, ideal_worker):
+        policy = TimeSlicePolicy(quantum=10.0)
+        policy.attach(ideal_worker)
+        a = ideal_worker.launch(make_linear_job("a", total_work=1000.0))
+        b = ideal_worker.launch(make_linear_job("b", total_work=1000.0))
+        sim.run(until=11.0)
+        first = a.limits.cpu
+        sim.run(until=21.0)
+        assert a.limits.cpu != first  # the favored slot moved
+
+    def test_everyone_completes(self, sim, ideal_worker):
+        policy = TimeSlicePolicy(quantum=10.0)
+        policy.attach(ideal_worker)
+        containers = [
+            ideal_worker.launch(make_linear_job(f"j{i}", total_work=40.0))
+            for i in range(3)
+        ]
+        sim.run_until_empty()
+        assert all(c.exited for c in containers)
+
+    def test_detach_stops_rotation(self, sim, ideal_worker):
+        policy = TimeSlicePolicy(quantum=10.0)
+        policy.attach(ideal_worker)
+        a = ideal_worker.launch(make_linear_job("a", total_work=10_000.0))
+        sim.run(until=11.0)
+        policy.detach()
+        limit_updates = len(a.limits.journal)
+        sim.run(until=100.0)
+        assert len(a.limits.journal) == limit_updates
+
+    def test_work_conserving_despite_slicing(self, sim, ideal_worker):
+        """Soft limits keep the node saturated, so total makespan equals
+        total work even under aggressive slicing."""
+        policy = TimeSlicePolicy(quantum=10.0, background_share=0.05)
+        policy.attach(ideal_worker)
+        for i in range(3):
+            ideal_worker.launch(make_linear_job(f"j{i}", total_work=50.0))
+        end = sim.run_until_empty()
+        assert end == pytest.approx(150.0, rel=1e-6)

@@ -1,0 +1,70 @@
+"""Unit tests for the contention model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.errors import ConfigError
+
+
+class TestEfficiency:
+    def test_single_container_is_lossless(self):
+        assert ContentionModel(overhead=0.05).efficiency(1) == 1.0
+        assert ContentionModel(overhead=0.05).efficiency(0) == 1.0
+
+    def test_overhead_grows_with_concurrency(self):
+        model = ContentionModel(overhead=0.02)
+        effs = [model.efficiency(n) for n in range(1, 6)]
+        assert all(a > b for a, b in zip(effs, effs[1:]))
+
+    def test_three_jobs_match_paper_band(self):
+        # ~4 % loss with three jobs ⇒ 1–5 % makespan gap territory.
+        eff = ContentionModel(overhead=0.02).efficiency(3)
+        assert 0.94 < eff < 0.97
+
+    def test_ideal_is_exact(self):
+        model = ContentionModel.ideal()
+        assert model.efficiency(10) == 1.0
+
+
+class TestJitter:
+    def test_ideal_has_no_noise(self):
+        model = ContentionModel.ideal()
+        noise = model.demand_noise(np.random.default_rng(0), np.ones(5))
+        assert np.all(noise == 1.0)
+
+    def test_free_competition_noisier_than_limited(self):
+        model = ContentionModel(jitter_free=0.1, jitter_limited=0.01)
+        rng = np.random.default_rng(0)
+        limits = np.array([1.0] * 500 + [0.2] * 500)
+        noise = model.demand_noise(rng, limits)
+        free_spread = np.abs(noise[:500] - 1.0).mean()
+        limited_spread = np.abs(noise[500:] - 1.0).mean()
+        assert free_spread > 3 * limited_spread
+
+    def test_noise_bounded_by_amplitude(self):
+        model = ContentionModel(jitter_free=0.06, jitter_limited=0.015)
+        noise = model.demand_noise(np.random.default_rng(1), np.ones(100))
+        assert np.all(np.abs(noise - 1.0) <= 0.06 + 1e-12)
+
+    def test_empty_input(self):
+        model = ContentionModel()
+        assert model.demand_noise(np.random.default_rng(0), np.ones(0)).shape == (0,)
+
+
+class TestValidation:
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigError):
+            ContentionModel(overhead=-0.01)
+
+    def test_jitter_range_checked(self):
+        with pytest.raises(ConfigError):
+            ContentionModel(jitter_free=1.0)
+        with pytest.raises(ConfigError):
+            ContentionModel(jitter_limited=-0.1)
+
+    def test_threshold_range_checked(self):
+        with pytest.raises(ConfigError):
+            ContentionModel(limit_threshold=0.0)

@@ -1,0 +1,78 @@
+"""Unit tests for the cluster manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.manager import Manager
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.errors import ClusterError
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+
+def _submission(label: str, t: float, work: float = 20.0) -> JobSubmission:
+    return JobSubmission(label=label, job=make_linear_job(label, work),
+                         submit_time=t)
+
+
+class TestSubmission:
+    def test_job_arrives_at_submit_time(self, sim, ideal_worker):
+        manager = Manager(sim, [ideal_worker])
+        manager.submit(_submission("Job-1", 15.0))
+        assert manager.pending == 1
+        sim.run(until=15.0)
+        assert manager.pending == 0
+        assert manager.placement_of("Job-1").cid > 0
+
+    def test_duplicate_label_rejected(self, sim, ideal_worker):
+        manager = Manager(sim, [ideal_worker])
+        manager.submit(_submission("Job-1", 0.0))
+        with pytest.raises(ClusterError):
+            manager.submit(_submission("Job-1", 5.0))
+
+    def test_submit_all(self, sim, ideal_worker):
+        manager = Manager(sim, [ideal_worker])
+        manager.submit_all([_submission("Job-1", 0.0), _submission("Job-2", 3.0)])
+        sim.run_until_empty()
+        assert set(manager.placements) == {"Job-1", "Job-2"}
+
+    def test_placement_before_arrival_raises(self, sim, ideal_worker):
+        manager = Manager(sim, [ideal_worker])
+        manager.submit(_submission("Job-1", 50.0))
+        with pytest.raises(ClusterError):
+            manager.placement_of("Job-1")
+
+    def test_negative_submit_time_rejected(self):
+        with pytest.raises(ValueError):
+            _submission("Job-1", -1.0)
+
+
+class TestPlacement:
+    def test_spread_across_workers(self):
+        sim = Simulator(seed=0)
+        workers = [
+            Worker(sim, name=f"w{i}", contention=ContentionModel.ideal())
+            for i in range(2)
+        ]
+        manager = Manager(sim, workers)
+        manager.submit_all(
+            [_submission(f"Job-{i}", 0.0, work=100.0) for i in range(1, 5)]
+        )
+        sim.run(until=1.0)
+        placed = [manager.placement_of(f"Job-{i}").worker_name for i in range(1, 5)]
+        assert placed.count("w0") == 2 and placed.count("w1") == 2
+
+    def test_requires_workers(self, sim):
+        with pytest.raises(ClusterError):
+            Manager(sim, [])
+
+    def test_duplicate_worker_names_rejected(self, sim):
+        workers = [
+            Worker(sim, name="same", contention=ContentionModel.ideal()),
+            Worker(sim, name="same", contention=ContentionModel.ideal()),
+        ]
+        with pytest.raises(ClusterError):
+            Manager(sim, workers)

@@ -1,0 +1,85 @@
+"""Unit tests for the memory-pressure extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.worker import Worker
+from repro.errors import ConfigError
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+
+def _job(mem: float, work: float = 50.0, name: str = "j"):
+    from repro.containers.spec import ResourceSpec
+    from repro.workloads.curves import PiecewiseLinearCurve
+    from repro.workloads.evalfn import EvalFunction, EvalKind
+    from repro.workloads.job import TrainingJob
+
+    return TrainingJob(
+        name=name,
+        total_work=work,
+        curve=PiecewiseLinearCurve([(0.0, 1.0), (1.0, 0.0)]),
+        evalfn=EvalFunction(kind=EvalKind.SQUARED_LOSS, start=1.0, converged=0.0),
+        footprint=ResourceSpec(cpu_demand=1.0, memory=mem),
+    )
+
+
+class TestEfficiencyWithMemory:
+    def test_no_penalty_below_capacity(self):
+        model = ContentionModel(overhead=0.0, swap_penalty=0.5)
+        assert model.efficiency(2, mem_used=0.9) == 1.0
+
+    def test_penalty_above_capacity(self):
+        model = ContentionModel(overhead=0.0, swap_penalty=0.5)
+        assert model.efficiency(2, mem_used=1.4) == pytest.approx(1 / 1.2)
+
+    def test_disabled_by_default(self):
+        model = ContentionModel(overhead=0.0)
+        assert model.efficiency(2, mem_used=2.0) == 1.0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigError):
+            ContentionModel(swap_penalty=-0.1)
+
+    def test_penalties_compose(self):
+        model = ContentionModel(overhead=0.10, swap_penalty=0.5)
+        eff = model.efficiency(2, mem_used=1.4)
+        assert eff == pytest.approx(1.0 / 1.1 / 1.2)
+
+
+class TestWorkerMemoryAccounting:
+    def test_memory_used_sums_running_footprints(self):
+        sim = Simulator(seed=0)
+        worker = Worker(sim, contention=ContentionModel.ideal())
+        worker.launch(_job(0.4, name="a"))
+        worker.launch(_job(0.3, name="b"))
+        assert worker.memory_used() == pytest.approx(0.7)
+
+    def test_memory_released_on_exit(self):
+        sim = Simulator(seed=0)
+        worker = Worker(sim, contention=ContentionModel.ideal())
+        worker.launch(_job(0.4, work=10.0, name="a"))
+        worker.launch(_job(0.3, work=100.0, name="b"))
+        sim.run(until=30.0)
+        assert worker.memory_used() == pytest.approx(0.3)
+
+    def test_overcommit_slows_training(self):
+        def run(mem_per_job: float) -> float:
+            sim = Simulator(seed=0)
+            worker = Worker(
+                sim,
+                contention=ContentionModel(
+                    overhead=0.0, jitter_free=0.0, jitter_limited=0.0,
+                    swap_penalty=0.5,
+                ),
+            )
+            worker.launch(_job(mem_per_job, work=50.0, name="a"))
+            worker.launch(_job(mem_per_job, work=50.0, name="b"))
+            return sim.run_until_empty()
+
+        fits = run(0.4)      # 0.8 total — fits in RAM
+        thrashes = run(0.8)  # 1.6 total — 0.6 overcommit
+        assert fits == pytest.approx(100.0)
+        assert thrashes == pytest.approx(100.0 * 1.3)  # 1 + 0.5·0.6

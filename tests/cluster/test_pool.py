@@ -1,0 +1,114 @@
+"""Unit tests for the container pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.pool import ContainerPool
+from repro.containers.container import Container
+from repro.errors import UnknownContainerError
+from tests.conftest import make_linear_job
+
+
+def _container(name="c"):
+    c = Container(make_linear_job(), name=name)
+    c.start(0.0)
+    return c
+
+
+class TestMembership:
+    def test_add_and_count(self):
+        pool = ContainerPool()
+        pool.add(_container(), 1.0)
+        pool.add(_container(), 2.0)
+        assert pool.count() == 2
+
+    def test_discard_removes(self):
+        pool = ContainerPool()
+        c = _container()
+        pool.add(c, 1.0)
+        removed = pool.discard(c.cid, 5.0)
+        assert removed is c
+        assert pool.count() == 0
+        assert c.cid not in pool
+
+    def test_discard_unknown_raises(self):
+        with pytest.raises(UnknownContainerError):
+            ContainerPool().discard(12345, 0.0)
+
+    def test_get(self):
+        pool = ContainerPool()
+        c = _container()
+        pool.add(c, 0.0)
+        assert pool.get(c.cid) is c
+        with pytest.raises(UnknownContainerError):
+            pool.get(999999)
+
+    def test_members_sorted_by_cid(self):
+        pool = ContainerPool()
+        a, b = _container("a"), _container("b")
+        pool.add(b, 0.0)
+        pool.add(a, 0.0)
+        assert [c.cid for c in pool.members()] == sorted([a.cid, b.cid])
+
+
+class TestDeltas:
+    def test_delta_detects_arrivals(self):
+        pool = ContainerPool()
+        before = pool.cids()
+        c = _container()
+        pool.add(c, 1.0)
+        delta = pool.delta_since(before)
+        assert delta.count_change == 1
+        assert delta.added == (c.cid,)
+        assert delta.removed == ()
+
+    def test_delta_detects_finishes(self):
+        pool = ContainerPool()
+        c = _container()
+        pool.add(c, 0.0)
+        before = pool.cids()
+        pool.discard(c.cid, 2.0)
+        delta = pool.delta_since(before)
+        assert delta.count_change == -1
+        assert delta.removed == (c.cid,)
+
+    def test_delta_mixed(self):
+        pool = ContainerPool()
+        a = _container("a")
+        pool.add(a, 0.0)
+        before = pool.cids()
+        b = _container("b")
+        pool.add(b, 1.0)
+        pool.discard(a.cid, 1.0)
+        delta = pool.delta_since(before)
+        assert delta.count_change == 0
+        assert delta.added == (b.cid,)
+        assert delta.removed == (a.cid,)
+
+
+class TestJournals:
+    def test_arrivals_since(self):
+        pool = ContainerPool()
+        a, b = _container(), _container()
+        pool.add(a, 1.0)
+        pool.add(b, 5.0)
+        assert pool.arrivals_since(1.0) == [b.cid]
+        assert pool.arrivals_since(0.0) == [a.cid, b.cid]
+
+    def test_finishes_since(self):
+        pool = ContainerPool()
+        a = _container()
+        pool.add(a, 0.0)
+        pool.discard(a.cid, 3.0)
+        assert pool.finishes_since(2.0) == [a.cid]
+        assert pool.finishes_since(3.0) == []
+
+    def test_totals(self):
+        pool = ContainerPool()
+        a, b = _container(), _container()
+        pool.add(a, 0.0)
+        pool.add(b, 0.0)
+        pool.discard(a.cid, 1.0)
+        assert pool.total_arrivals() == 2
+        assert pool.total_finishes() == 1

@@ -1,0 +1,150 @@
+"""Unit/integration tests for the worker's settlement arithmetic.
+
+Using ``ContentionModel.ideal()`` the dynamics are exact, so completion
+times can be asserted analytically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.worker import Worker
+from repro.containers.allocator import AllocationMode
+from repro.cluster.contention import ContentionModel
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+
+class TestSoloJob:
+    def test_solo_job_finishes_at_exact_time(self, sim, ideal_worker):
+        ideal_worker.launch(make_linear_job(total_work=50.0))
+        sim.run_until_empty()
+        assert sim.now == pytest.approx(50.0)
+        assert ideal_worker.pool.count() == 0
+
+    def test_demand_limited_job_takes_longer(self, sim, ideal_worker):
+        ideal_worker.launch(make_linear_job(total_work=50.0, demand=0.5))
+        sim.run_until_empty()
+        assert sim.now == pytest.approx(100.0)
+
+    def test_completion_time_recorded_on_container(self, sim, ideal_worker):
+        c = ideal_worker.launch(make_linear_job(total_work=30.0))
+        sim.run_until_empty()
+        assert c.exited
+        assert c.completion_time() == pytest.approx(30.0)
+
+
+class TestFairSharing:
+    def test_two_equal_jobs_split_node(self, sim, ideal_worker):
+        ideal_worker.launch(make_linear_job("a", total_work=50.0))
+        ideal_worker.launch(make_linear_job("b", total_work=50.0))
+        sim.run_until_empty()
+        # Each gets 0.5 → both finish at 100.
+        assert sim.now == pytest.approx(100.0)
+
+    def test_exit_releases_capacity(self, sim, ideal_worker):
+        ca = ideal_worker.launch(make_linear_job("a", total_work=20.0))
+        cb = ideal_worker.launch(make_linear_job("b", total_work=50.0))
+        sim.run_until_empty()
+        # Shared until a exits at t=40 (20/0.5); b then has 30 left at rate 1.
+        assert ca.finished_at == pytest.approx(40.0)
+        assert cb.finished_at == pytest.approx(70.0)
+
+    def test_staggered_arrival(self, sim, ideal_worker):
+        ideal_worker.launch(make_linear_job("a", total_work=100.0))
+        sim.schedule(
+            30.0,
+            lambda e: ideal_worker.launch(make_linear_job("b", total_work=35.0)),
+        )
+        sim.run_until_empty()
+        # a alone 0–30 (30 done), then split: b finishes at 30+70=100;
+        # a has 100-30-35=35 left at rate 1 → 135.
+        assert sim.now == pytest.approx(135.0)
+
+
+class TestLimits:
+    def test_update_limit_shifts_shares(self, sim, ideal_worker):
+        ca = ideal_worker.launch(make_linear_job("a", total_work=100.0))
+        cb = ideal_worker.launch(make_linear_job("b", total_work=50.0))
+        ideal_worker.update_limit(ca.cid, 0.25)
+        sim.run_until_empty()
+        # a capped 0.25, b soaks 0.75: b exits at 50/0.75 = 66.67,
+        # a then has 100 - 16.67 = 83.33 at rate 1 → 150.
+        assert cb.finished_at == pytest.approx(50 / 0.75)
+        assert ca.finished_at == pytest.approx(150.0)
+
+    def test_batch_update_applies_once(self, sim, ideal_worker):
+        ca = ideal_worker.launch(make_linear_job("a"))
+        cb = ideal_worker.launch(make_linear_job("b"))
+        changed = ideal_worker.batch_update({ca.cid: 0.3, cb.cid: 0.7})
+        assert changed == 2
+        allocs = ideal_worker.allocations()
+        assert allocs[ca.cid] == pytest.approx(0.3)
+        assert allocs[cb.cid] == pytest.approx(0.7)
+
+    def test_hard_mode_leaves_capacity_idle(self):
+        sim = Simulator(seed=0)
+        worker = Worker(
+            sim,
+            contention=ContentionModel.ideal(),
+            allocation_mode=AllocationMode.HARD,
+        )
+        c = worker.launch(make_linear_job(total_work=50.0))
+        worker.update_limit(c.cid, 0.5)
+        sim.run_until_empty()
+        assert sim.now == pytest.approx(100.0)  # soft mode would give 50+ε
+
+    def test_soft_mode_single_job_recovers_node(self, sim, ideal_worker):
+        c = ideal_worker.launch(make_linear_job(total_work=50.0))
+        ideal_worker.update_limit(c.cid, 0.5)
+        sim.run_until_empty()
+        assert sim.now == pytest.approx(50.0)
+
+
+class TestAccounting:
+    def test_cgroup_tracks_cpu_seconds(self, sim, ideal_worker):
+        c = ideal_worker.launch(make_linear_job(total_work=40.0))
+        sim.run_until_empty()
+        assert c.cgroup.cpu_seconds() == pytest.approx(40.0)
+
+    def test_overhead_slows_completion_but_usage_reflects_alloc(self):
+        sim = Simulator(seed=0)
+        worker = Worker(
+            sim, contention=ContentionModel(overhead=0.10, jitter_free=0.0,
+                                            jitter_limited=0.0)
+        )
+        worker.launch(make_linear_job("a", total_work=50.0))
+        worker.launch(make_linear_job("b", total_work=50.0))
+        sim.run_until_empty()
+        # efficiency = 1/1.1 with 2 jobs; both at 0.5 alloc → rate 0.4545…
+        assert sim.now == pytest.approx(100.0 * 1.1)
+
+    def test_load_view(self, sim, ideal_worker):
+        ideal_worker.launch(make_linear_job("a"))
+        ideal_worker.launch(make_linear_job("b", demand=0.3))
+        assert ideal_worker.load() == pytest.approx(1.0)
+
+
+class TestHooks:
+    def test_launch_and_exit_hooks_fire(self, sim, ideal_worker):
+        events = []
+        ideal_worker.launch_hooks.append(lambda c: events.append(("up", c.name)))
+        ideal_worker.exit_hooks.append(lambda c: events.append(("down", c.name)))
+        ideal_worker.launch(make_linear_job("x", total_work=10.0))
+        sim.run_until_empty()
+        assert events == [("up", "x"), ("down", "x")]
+
+    def test_poke_is_idempotent_on_progress(self, sim, ideal_worker):
+        c = ideal_worker.launch(make_linear_job(total_work=100.0))
+        sim.schedule(10.0, lambda e: ideal_worker.poke())
+        sim.schedule(10.0, lambda e: ideal_worker.poke())
+        sim.run(until=10.0)
+        assert c.job.work_done == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_nonpositive_capacity_rejected(self, sim):
+        from repro.errors import CapacityError
+
+        with pytest.raises(CapacityError):
+            Worker(sim, capacity=0.0)

@@ -1,0 +1,61 @@
+"""Shared pytest fixtures.
+
+The fixtures build the standard small worlds used across suites: a fresh
+simulator, an ideal (no-interference) worker, and a tiny linear job whose
+behaviour is trivially predictable (loss falls linearly from 1 to 0 over
+``total_work`` CPU-seconds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.worker import Worker
+from repro.containers.spec import ResourceSpec
+from repro.simcore.engine import Simulator
+from repro.workloads.curves import PiecewiseLinearCurve
+from repro.workloads.evalfn import EvalFunction, EvalKind
+from repro.workloads.job import TrainingJob
+
+
+def make_linear_job(
+    name: str = "lin",
+    total_work: float = 100.0,
+    demand: float = 1.0,
+    e0: float = 1.0,
+    e_final: float = 0.0,
+    warmup: float = 0.0,
+) -> TrainingJob:
+    """A job whose E falls linearly with work — fully predictable."""
+    curve = PiecewiseLinearCurve([(0.0, e0), (1.0, e_final)])
+    evalfn = EvalFunction(
+        kind=EvalKind.SQUARED_LOSS, start=e0, converged=e_final
+    )
+    return TrainingJob(
+        name=name,
+        total_work=total_work,
+        curve=curve,
+        evalfn=evalfn,
+        footprint=ResourceSpec(cpu_demand=demand, memory=0.1),
+        warmup_work=warmup,
+        total_iterations=1000,
+    )
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh, traced simulator."""
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def ideal_worker(sim: Simulator) -> Worker:
+    """A worker with no interference or jitter (exact arithmetic)."""
+    return Worker(sim, contention=ContentionModel.ideal())
+
+
+@pytest.fixture
+def linear_job() -> TrainingJob:
+    """One predictable 100-cpu-second job."""
+    return make_linear_job()

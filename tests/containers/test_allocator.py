@@ -1,0 +1,189 @@
+"""Unit + property tests for the CPU allocator — the substrate's core.
+
+The worked examples from the paper are encoded directly:
+* §5.3: VAE limited to 0.25 + fresh MNIST at 1 ⇒ 25 % / 75 %;
+* §4.1: soft limits let others use capacity a container leaves unused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.allocator import AllocationMode, CpuAllocator, water_fill
+from repro.errors import AllocationError
+
+
+class TestWaterFill:
+    def test_equal_split_unsaturated(self):
+        alloc = water_fill(1.0, np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(alloc, [1 / 3, 1 / 3, 1 / 3])
+
+    def test_saturation_redistributes(self):
+        alloc = water_fill(1.0, np.array([0.1, 1.0]))
+        assert np.allclose(alloc, [0.1, 0.9])
+
+    def test_paper_example_25_75(self):
+        # VAE capped at 0.25, MNIST free: 25 % / 75 % (§5.3).
+        alloc = water_fill(1.0, np.array([0.25, 1.0]))
+        assert np.allclose(alloc, [0.25, 0.75])
+
+    def test_capacity_exceeds_ceilings(self):
+        alloc = water_fill(1.0, np.array([0.2, 0.3]))
+        assert np.allclose(alloc, [0.2, 0.3])
+
+    def test_zero_capacity(self):
+        alloc = water_fill(0.0, np.array([0.5, 0.5]))
+        assert np.allclose(alloc, 0.0)
+
+    def test_empty_input(self):
+        assert water_fill(1.0, np.zeros(0)).shape == (0,)
+
+    def test_weighted_shares(self):
+        alloc = water_fill(1.0, np.array([1.0, 1.0]), np.array([1.0, 3.0]))
+        assert np.allclose(alloc, [0.25, 0.75])
+
+    def test_weighted_with_cap(self):
+        # Heavy-weight entity capped: remainder flows to the other.
+        alloc = water_fill(1.0, np.array([1.0, 0.2]), np.array([1.0, 9.0]))
+        assert np.allclose(alloc, [0.8, 0.2])
+
+    def test_limits_as_exact_shares(self):
+        # When ceilings sum to capacity, allocations equal ceilings.
+        caps = np.array([0.6, 0.3, 0.1])
+        assert np.allclose(water_fill(1.0, caps), caps)
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(AllocationError):
+            water_fill(-1.0, np.array([1.0]))
+
+    def test_negative_ceiling_raises(self):
+        with pytest.raises(AllocationError):
+            water_fill(1.0, np.array([-0.5]))
+
+    def test_nonpositive_weights_raise(self):
+        with pytest.raises(AllocationError):
+            water_fill(1.0, np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AllocationError):
+            water_fill(1.0, np.array([1.0]), np.array([1.0, 2.0]))
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=20),
+        st.floats(min_value=0.0, max_value=4.0),
+    )
+    def test_property_conservation_and_bounds(self, caps, capacity):
+        caps = np.array(caps)
+        alloc = water_fill(capacity, caps)
+        assert np.all(alloc >= -1e-9)
+        assert np.all(alloc <= caps + 1e-9)
+        expected = min(capacity, caps.sum())
+        assert alloc.sum() == pytest.approx(expected, abs=1e-6)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=2.0),   # ceiling
+                st.floats(min_value=0.01, max_value=10.0),  # weight
+            ),
+            min_size=2,
+            max_size=15,
+        )
+    )
+    def test_property_weighted_fairness(self, pairs):
+        """Unsaturated entities receive shares proportional to weight."""
+        caps = np.array([p[0] for p in pairs])
+        weights = np.array([p[1] for p in pairs])
+        alloc = water_fill(1.0, caps, weights)
+        unsat = alloc < caps - 1e-9
+        if unsat.sum() >= 2:
+            ratios = alloc[unsat] / weights[unsat]
+            assert np.allclose(ratios, ratios[0], atol=1e-6)
+
+
+class TestCpuAllocator:
+    def test_soft_mode_is_work_conserving(self):
+        alloc = CpuAllocator(AllocationMode.SOFT).allocate(
+            1.0, np.array([0.1, 0.1]), np.array([1.0, 1.0])
+        )
+        # Limits sum to 0.2 but demand is full: soft mode fills the node.
+        assert alloc.sum() == pytest.approx(1.0)
+
+    def test_hard_mode_wastes_capacity(self):
+        alloc = CpuAllocator(AllocationMode.HARD).allocate(
+            1.0, np.array([0.1, 0.1]), np.array([1.0, 1.0])
+        )
+        assert alloc.sum() == pytest.approx(0.2)
+
+    def test_demand_always_respected(self):
+        alloc = CpuAllocator(AllocationMode.SOFT).allocate(
+            1.0, np.array([1.0, 1.0]), np.array([0.35, 1.0])
+        )
+        assert alloc[0] == pytest.approx(0.35)
+        assert alloc[1] == pytest.approx(0.65)
+
+    def test_single_limited_container_recovers_node_in_soft_mode(self):
+        # A lone container limited to 0.25 still gets the whole node:
+        # nothing else wants the capacity (§4.1 soft-limit semantics).
+        alloc = CpuAllocator(AllocationMode.SOFT).allocate(
+            1.0, np.array([0.25]), np.array([1.0])
+        )
+        assert alloc[0] == pytest.approx(1.0)
+
+    def test_single_limited_container_capped_in_hard_mode(self):
+        alloc = CpuAllocator(AllocationMode.HARD).allocate(
+            1.0, np.array([0.25]), np.array([1.0])
+        )
+        assert alloc[0] == pytest.approx(0.25)
+
+    def test_paper_flowcon_shares(self):
+        # CL-floored VAE (0.25) + two NL jobs at limit 1.
+        alloc = CpuAllocator().allocate(
+            1.0, np.array([0.25, 1.0, 1.0]), np.array([1.0, 1.0, 1.0])
+        )
+        assert alloc[0] == pytest.approx(0.25)
+        assert alloc[1] == pytest.approx(0.375)
+        assert alloc[2] == pytest.approx(0.375)
+
+    def test_empty(self):
+        assert CpuAllocator().allocate(1.0, np.zeros(0), np.zeros(0)).shape == (0,)
+
+    def test_invalid_limits_raise(self):
+        with pytest.raises(AllocationError):
+            CpuAllocator().allocate(1.0, np.array([0.0]), np.array([1.0]))
+        with pytest.raises(AllocationError):
+            CpuAllocator().allocate(1.0, np.array([1.5]), np.array([1.0]))
+
+    def test_negative_demand_raises(self):
+        with pytest.raises(AllocationError):
+            CpuAllocator().allocate(1.0, np.array([1.0]), np.array([-0.1]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AllocationError):
+            CpuAllocator().allocate(1.0, np.array([1.0]), np.array([1.0, 1.0]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=1.0),  # limit
+                st.floats(min_value=0.0, max_value=1.0),   # demand
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.sampled_from([AllocationMode.SOFT, AllocationMode.HARD]),
+    )
+    def test_property_soft_conserves_hard_caps(self, pairs, mode):
+        limits = np.array([p[0] for p in pairs])
+        demands = np.array([p[1] for p in pairs])
+        alloc = CpuAllocator(mode).allocate(1.0, limits, demands)
+        assert np.all(alloc <= demands + 1e-9)
+        assert alloc.sum() <= 1.0 + 1e-9
+        if mode is AllocationMode.HARD:
+            assert np.all(alloc <= limits + 1e-9)
+        else:
+            expected = min(1.0, demands.sum())
+            assert alloc.sum() == pytest.approx(expected, abs=1e-6)

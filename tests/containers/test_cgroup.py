@@ -1,0 +1,81 @@
+"""Unit tests for cgroup accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers.cgroup import CgroupAccount
+from repro.containers.spec import ResourceVector
+from repro.errors import ContainerError
+
+
+class TestAccumulation:
+    def test_cpu_seconds_integrate(self):
+        acct = CgroupAccount()
+        acct.accumulate(10.0, ResourceVector(cpu=0.5))
+        acct.accumulate(10.0, ResourceVector(cpu=1.0))
+        assert acct.cpu_seconds() == pytest.approx(15.0)
+
+    def test_zero_interval_is_noop(self):
+        acct = CgroupAccount()
+        acct.accumulate(0.0, ResourceVector(cpu=1.0))
+        assert acct.cpu_seconds() == 0.0
+
+    def test_negative_interval_raises(self):
+        with pytest.raises(ContainerError):
+            CgroupAccount().accumulate(-1.0, ResourceVector())
+
+    def test_totals_cover_all_dimensions(self):
+        acct = CgroupAccount()
+        acct.accumulate(4.0, ResourceVector(cpu=0.5, memory=0.25, blkio=0.1))
+        totals = acct.totals
+        assert totals.cpu == pytest.approx(2.0)
+        assert totals.memory == pytest.approx(1.0)
+        assert totals.blkio == pytest.approx(0.4)
+
+
+class TestWindows:
+    def test_mean_usage_over_checkpointed_window(self):
+        acct = CgroupAccount()
+        acct.accumulate(10.0, ResourceVector(cpu=0.2))
+        acct.checkpoint()
+        acct.accumulate(10.0, ResourceVector(cpu=0.8))
+        acct.checkpoint()
+        mean = acct.mean_usage_since(10.0, 20.0)
+        assert mean.cpu == pytest.approx(0.8)
+
+    def test_mean_usage_across_phases(self):
+        acct = CgroupAccount()
+        acct.accumulate(10.0, ResourceVector(cpu=0.2))
+        acct.checkpoint()
+        acct.accumulate(10.0, ResourceVector(cpu=0.8))
+        acct.checkpoint()
+        mean = acct.mean_usage_since(0.0, 20.0)
+        assert mean.cpu == pytest.approx(0.5)
+
+    def test_interpolation_inside_phase(self):
+        acct = CgroupAccount()
+        acct.accumulate(10.0, ResourceVector(cpu=1.0))
+        acct.checkpoint()
+        mean = acct.mean_usage_since(2.5, 7.5)
+        assert mean.cpu == pytest.approx(1.0)
+
+    def test_window_before_creation_clamps(self):
+        acct = CgroupAccount(created_at=5.0)
+        acct.accumulate(5.0, ResourceVector(cpu=1.0))
+        acct.checkpoint()
+        # Window starting before creation sees zero usage there.
+        mean = acct.mean_usage_since(0.0, 10.0)
+        assert mean.cpu == pytest.approx(0.5)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ContainerError):
+            CgroupAccount().mean_usage_since(5.0, 5.0)
+
+    def test_window_between_returns_duration(self):
+        acct = CgroupAccount()
+        acct.accumulate(8.0, ResourceVector(cpu=0.5))
+        acct.checkpoint()
+        window = acct.window_between(0.0, 8.0)
+        assert window.duration == pytest.approx(8.0)
+        assert window.mean.cpu == pytest.approx(0.5)

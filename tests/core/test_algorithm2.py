@@ -1,0 +1,86 @@
+"""Unit tests for Algorithm 2 (listeners) and the worker monitor."""
+
+from __future__ import annotations
+
+from repro.core.algorithm2 import Listener
+from repro.core.lists import ContainerLists, ListName
+from repro.core.worker_monitor import WorkerMonitor
+from tests.conftest import make_linear_job
+
+
+def _setup(sim, ideal_worker):
+    lists = ContainerLists()
+    monitor = WorkerMonitor(ideal_worker)
+    return Listener(monitor, lists), lists
+
+
+class TestListener:
+    def test_first_step_sees_existing_containers_as_arrivals(
+        self, sim, ideal_worker
+    ):
+        listener, lists = _setup(sim, ideal_worker)
+        c = ideal_worker.launch(make_linear_job())
+        report = listener.step()
+        assert report.arrivals == (c.cid,)
+        assert report.interrupt
+        assert lists.where(c.cid) is ListName.NL
+
+    def test_no_change_no_interrupt(self, sim, ideal_worker):
+        listener, _ = _setup(sim, ideal_worker)
+        ideal_worker.launch(make_linear_job())
+        listener.step()
+        report = listener.step()
+        assert not report.interrupt
+        assert report.arrivals == () and report.completions == ()
+
+    def test_completion_removes_from_lists(self, sim, ideal_worker):
+        listener, lists = _setup(sim, ideal_worker)
+        c = ideal_worker.launch(make_linear_job(total_work=10.0))
+        listener.step()
+        sim.run_until_empty()  # job finishes, exits the pool
+        report = listener.step()
+        assert report.completions == (c.cid,)
+        assert report.interrupt
+        assert lists.where(c.cid) is None
+
+    def test_simultaneous_arrival_and_completion(self, sim, ideal_worker):
+        listener, lists = _setup(sim, ideal_worker)
+        a = ideal_worker.launch(make_linear_job("a", total_work=10.0))
+        listener.step()
+        sim.run_until_empty()
+        b = ideal_worker.launch(make_linear_job("b", total_work=10.0))
+        report = listener.step()
+        assert report.arrivals == (b.cid,)
+        assert report.completions == (a.cid,)
+        assert lists.where(b.cid) is ListName.NL
+
+    def test_reports_accumulate(self, sim, ideal_worker):
+        listener, _ = _setup(sim, ideal_worker)
+        listener.step()
+        listener.step()
+        assert len(listener.reports) == 2
+        assert [r.iteration for r in listener.reports] == [0, 1]
+
+
+class TestWorkerMonitor:
+    def test_iteration_counter(self, sim, ideal_worker):
+        monitor = WorkerMonitor(ideal_worker)
+        assert monitor.iteration == 0
+        monitor.observe()
+        monitor.observe()
+        assert monitor.iteration == 2
+
+    def test_count_matches_pool(self, sim, ideal_worker):
+        monitor = WorkerMonitor(ideal_worker)
+        ideal_worker.launch(make_linear_job())
+        obs = monitor.observe()
+        assert obs.count == 1
+
+    def test_reset_forgets_known(self, sim, ideal_worker):
+        monitor = WorkerMonitor(ideal_worker)
+        c = ideal_worker.launch(make_linear_job())
+        monitor.observe()
+        monitor.reset()
+        obs = monitor.observe()
+        assert obs.delta.added == (c.cid,)
+        assert obs.iteration == 0

@@ -1,0 +1,82 @@
+"""Eq. 2 across resource dimensions (§3.3's multi-resource formulation).
+
+The paper defines growth efficiency per resource r ∈ {CPU, memory,
+block I/O, network I/O}.  The evaluation uses CPU, but the implementation
+must support the rest; these tests drive full FlowCon runs keyed to the
+other dimensions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.na import NAPolicy
+from repro.config import FlowConConfig, SimulationConfig
+from repro.containers.spec import ResourceType
+from repro.core.policy import FlowConPolicy
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import fixed_three_job
+
+
+@pytest.mark.parametrize(
+    "resource", [ResourceType.MEMORY, ResourceType.BLKIO]
+)
+class TestAlternateResources:
+    def test_full_run_completes(self, resource):
+        cfg = SimulationConfig(seed=1, trace=False)
+        result = run_scenario(
+            fixed_three_job(),
+            FlowConPolicy(FlowConConfig(resource=resource)),
+            cfg,
+        )
+        assert len(result.completion_times()) == 3
+
+    def test_classification_still_happens(self, resource):
+        cfg = SimulationConfig(seed=1, trace=False)
+        policy = FlowConPolicy(FlowConConfig(resource=resource))
+        run_scenario(fixed_three_job(), policy, cfg)
+        # The VAE's efficiency decays regardless of the denominator
+        # resource, so transitions out of NL must have occurred.
+        moved = [
+            t for t in policy.executor.lists.transitions
+            if t.source is not None
+        ]
+        assert moved
+
+
+class TestCpuVsMemoryDynamics:
+    def test_memory_keyed_run_remains_competitive(self):
+        """G wrt memory uses the resident footprint as the denominator;
+        since footprints are constant the *relative* decay matches the
+        CPU-keyed classification and outcomes stay close."""
+        cfg = SimulationConfig(seed=1, trace=False)
+        cpu = run_scenario(
+            fixed_three_job(),
+            FlowConPolicy(FlowConConfig(resource=ResourceType.CPU)),
+            cfg,
+        )
+        mem = run_scenario(
+            fixed_three_job(),
+            FlowConPolicy(FlowConConfig(resource=ResourceType.MEMORY)),
+            cfg,
+        )
+        na = run_scenario(fixed_three_job(), NAPolicy(), cfg)
+        # Both beat NA for the late-arriving MNIST-TF.
+        assert cpu.completion_times()["Job-3"] < na.completion_times()["Job-3"]
+        assert mem.completion_times()["Job-3"] < na.completion_times()["Job-3"]
+
+    def test_netio_without_usage_degrades_gracefully(self):
+        """Zoo jobs have zero network I/O; G wrt NETIO is always 0 ⇒
+        relative growth stays 1.0 ⇒ everyone stays NL at limit 1 ⇒
+        behaviour degrades to NA rather than misbehaving."""
+        cfg = SimulationConfig(seed=1, trace=False)
+        net = run_scenario(
+            fixed_three_job(),
+            FlowConPolicy(FlowConConfig(resource=ResourceType.NETIO)),
+            cfg,
+        )
+        na = run_scenario(fixed_three_job(), NAPolicy(), cfg)
+        for label, t_na in na.completion_times().items():
+            assert net.completion_times()[label] == pytest.approx(
+                t_na, rel=0.05
+            )

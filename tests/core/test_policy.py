@@ -1,0 +1,39 @@
+"""Unit tests for policy attachment."""
+
+from __future__ import annotations
+
+from repro.config import FlowConConfig
+from repro.core.policy import FlowConPolicy
+from tests.conftest import make_linear_job
+
+
+class TestFlowConPolicy:
+    def test_attach_starts_executor(self, sim, ideal_worker):
+        policy = FlowConPolicy()
+        policy.attach(ideal_worker)
+        assert policy.executor is not None
+        ideal_worker.launch(make_linear_job(total_work=100.0))
+        assert policy.executor.runs == 1  # listener interrupt
+
+    def test_detach_stops_ticks(self, sim, ideal_worker):
+        policy = FlowConPolicy()
+        policy.attach(ideal_worker)
+        ideal_worker.launch(make_linear_job(total_work=10_000.0))
+        runs = policy.executor.runs
+        policy.detach()
+        sim.run(until=100.0)
+        assert policy.executor.runs == runs
+
+    def test_name_includes_parameters(self):
+        policy = FlowConPolicy(FlowConConfig(alpha=0.10, itval=40.0))
+        assert policy.name == "FlowCon-10%-40"
+
+    def test_describe_mentions_all_knobs(self):
+        text = FlowConPolicy().describe()
+        for key in ("alpha", "itval", "beta", "backoff", "listeners"):
+            assert key in text
+
+    def test_default_config_is_papers_headline(self):
+        policy = FlowConPolicy()
+        assert policy.config.alpha == 0.05
+        assert policy.config.itval == 20.0

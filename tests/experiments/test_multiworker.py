@@ -1,0 +1,81 @@
+"""Unit tests for the multi-worker runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.na import NAPolicy
+from repro.config import SimulationConfig
+from repro.core.policy import FlowConPolicy
+from repro.errors import ExperimentError
+from repro.experiments.multiworker import run_multi_worker
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _specs(n=6, seed=5):
+    gen = WorkloadGenerator(np.random.default_rng(seed))
+    return gen.random_mix(n, window=(0.0, 100.0))
+
+
+class TestRunMultiWorker:
+    def test_all_jobs_complete(self):
+        result = run_multi_worker(
+            _specs(),
+            FlowConPolicy,
+            n_workers=2,
+            sim_config=SimulationConfig(seed=5, trace=False),
+        )
+        assert len(result.completion_times()) == 6
+
+    def test_jobs_spread_across_workers(self):
+        result = run_multi_worker(
+            _specs(),
+            NAPolicy,
+            n_workers=2,
+            sim_config=SimulationConfig(seed=5, trace=False),
+        )
+        sizes = [len(v) for v in result.per_worker.values()]
+        assert sorted(sizes) == [3, 3]
+
+    def test_each_worker_gets_own_policy(self):
+        result = run_multi_worker(
+            _specs(),
+            FlowConPolicy,
+            n_workers=3,
+            sim_config=SimulationConfig(seed=5, trace=False),
+        )
+        executors = {
+            name: policy.executor
+            for name, policy in result.policies.items()
+        }
+        assert len(set(map(id, executors.values()))) == 3
+        assert all(ex.runs > 0 for ex in executors.values())
+
+    def test_more_workers_shorter_makespan(self):
+        one = run_multi_worker(
+            _specs(), NAPolicy, n_workers=1,
+            sim_config=SimulationConfig(seed=5, trace=False),
+        )
+        three = run_multi_worker(
+            _specs(), NAPolicy, n_workers=3,
+            sim_config=SimulationConfig(seed=5, trace=False),
+        )
+        assert three.makespan < one.makespan
+
+    def test_single_worker_matches_run_scenario(self):
+        from repro.experiments.runner import run_scenario
+
+        specs = _specs()
+        cfg = SimulationConfig(seed=5, trace=False)
+        multi = run_multi_worker(specs, NAPolicy, n_workers=1, sim_config=cfg)
+        single = run_scenario(specs, NAPolicy(), cfg)
+        assert multi.completion_times() == pytest.approx(
+            single.completion_times()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_multi_worker([], NAPolicy, n_workers=1)
+        with pytest.raises(ExperimentError):
+            run_multi_worker(_specs(), NAPolicy, n_workers=0)

@@ -1,0 +1,73 @@
+"""Unit tests for ASCII report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import (
+    render_bars,
+    render_header,
+    render_sparkline,
+    render_table,
+)
+
+
+class TestTable:
+    def test_aligned_columns(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "22.5" in lines[3]
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[3.14159]], float_fmt="{:.3f}")
+        assert "3.142" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        line = render_sparkline(np.linspace(0, 1, 500), width=40)
+        assert len(line) == 40
+
+    def test_short_input_kept(self):
+        line = render_sparkline(np.array([0.0, 1.0]))
+        assert len(line) == 2
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_flat_series_renders(self):
+        line = render_sparkline(np.full(10, 0.5))
+        assert len(line) == 10
+
+    def test_empty(self):
+        assert render_sparkline(np.array([])) == ""
+
+    def test_explicit_bounds(self):
+        line = render_sparkline(np.array([0.5]), vmin=0.0, vmax=1.0)
+        assert line != "█"
+
+
+class TestBars:
+    def test_bar_lengths_scale(self):
+        text = render_bars(["a", "b"], [10.0, 100.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 1
+        assert lines[1].count("█") == 10
+
+    def test_values_printed(self):
+        text = render_bars(["x"], [42.0])
+        assert "42.0" in text
+
+    def test_empty(self):
+        assert render_bars([], []) == ""
+
+
+class TestHeader:
+    def test_contains_title(self):
+        text = render_header("Figure 3")
+        assert "Figure 3" in text
+        assert text.startswith("=")

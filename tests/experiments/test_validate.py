@@ -1,0 +1,43 @@
+"""Tests for the executable reproduction scorecard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.validate import Check, validate_reproduction
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validate_reproduction()
+
+
+class TestValidateReproduction:
+    def test_covers_all_experiments(self, checks):
+        exps = {c.exp for c in checks}
+        for expected in (
+            "Fig.1", "Fig.3", "Tab.2", "Fig.7", "Fig.8", "Fig.9",
+            "Fig.12", "Fig.13", "Fig.14", "Fig.15/16", "Fig.17",
+        ):
+            assert expected in exps
+
+    def test_all_checks_pass(self, checks):
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "\n".join(
+            f"{c.exp}: {c.claim} — {c.detail}" for c in failed
+        )
+
+    def test_details_are_informative(self, checks):
+        assert all(c.detail for c in checks)
+
+    def test_check_is_frozen(self):
+        check = Check("x", "y", True, "z")
+        with pytest.raises(Exception):
+            check.passed = False  # type: ignore[misc]
+
+    def test_cli_validate_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out

@@ -1,0 +1,61 @@
+"""Integration: exporting real run data (the archival path benches use)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.baselines.na import NAPolicy
+from repro.config import SimulationConfig
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import fixed_three_job
+from repro.metrics.export import series_to_csv, summary_to_json
+
+
+class TestExportRoundtrip:
+    def test_run_traces_export_to_csv(self):
+        result = run_scenario(
+            fixed_three_job(), NAPolicy(), SimulationConfig(seed=1, trace=False)
+        )
+        csv = series_to_csv(
+            {
+                trace.label: trace.cpu_usage
+                for trace in result.recorder.traces.values()
+            },
+            grid_step=10.0,
+        )
+        lines = csv.strip().splitlines()
+        header = lines[0].split(",")
+        assert header[0] == "time"
+        assert set(header[1:]) == {"Job-1", "Job-2", "Job-3"}
+        # Values parse back as floats and stay within [0, 1].
+        for line in lines[1:]:
+            for cell in line.split(",")[1:]:
+                if cell:
+                    assert 0.0 <= float(cell) <= 1.0 + 1e-9
+
+    def test_run_summary_exports_to_json(self):
+        result = run_scenario(
+            fixed_three_job(), NAPolicy(), SimulationConfig(seed=1, trace=False)
+        )
+        payload = json.loads(summary_to_json(result.summary, policy="NA"))
+        assert payload["policy"] == "NA"
+        assert len(payload["jobs"]) == 3
+        assert payload["makespan"] == result.makespan
+        # Submission order preserved.
+        assert [j["label"] for j in payload["jobs"]] == [
+            "Job-1", "Job-2", "Job-3",
+        ]
+
+    def test_csv_grid_spans_run(self):
+        result = run_scenario(
+            fixed_three_job(), NAPolicy(), SimulationConfig(seed=1, trace=False)
+        )
+        trace = result.trace("Job-1")
+        csv = series_to_csv({"j1": trace.cpu_usage}, grid_step=5.0)
+        times = np.array(
+            [float(line.split(",")[0]) for line in csv.strip().splitlines()[1:]]
+        )
+        assert times[0] <= trace.cpu_usage.t_start + 5.0
+        assert times[-1] >= trace.cpu_usage.t_end - 5.0

@@ -1,0 +1,60 @@
+"""Unit tests for metrics export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics.export import series_to_csv, summary_to_json
+from repro.metrics.summary import CompletionRecord, RunSummary
+from repro.metrics.timeseries import StepSeries
+
+
+def _series(points, name="s"):
+    s = StepSeries(name)
+    for t, v in points:
+        s.append(t, v)
+    return s
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = series_to_csv(
+            {"a": _series([(0.0, 1.0), (2.0, 3.0)])}, grid_step=1.0
+        )
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time,a"
+        assert lines[1].startswith("0.000,1.0")
+        assert len(lines) == 4  # t = 0,1,2 plus header
+
+    def test_multiple_series_aligned(self):
+        csv = series_to_csv(
+            {
+                "a": _series([(0.0, 1.0), (10.0, 2.0)]),
+                "b": _series([(5.0, 9.0)]),
+            },
+            grid_step=5.0,
+        )
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time,a,b"
+        # b is blank before its first point.
+        assert lines[1].split(",")[2] == ""
+        assert lines[2].split(",")[2] == "9.000000"
+
+    def test_empty_input(self):
+        assert series_to_csv({}) == "time\n"
+        assert series_to_csv({"x": StepSeries()}) == "time\n"
+
+
+class TestJson:
+    def test_roundtrip(self):
+        summary = RunSummary(
+            [
+                CompletionRecord("Job-1", "img", 1, 0.0, 50.0, 50.0),
+                CompletionRecord("Job-2", "img", 2, 10.0, 80.0, 70.0),
+            ]
+        )
+        payload = json.loads(summary_to_json(summary, policy="NA"))
+        assert payload["policy"] == "NA"
+        assert payload["makespan"] == 80.0
+        assert [j["label"] for j in payload["jobs"]] == ["Job-1", "Job-2"]
+        assert payload["jobs"][1]["completion_time"] == 70.0

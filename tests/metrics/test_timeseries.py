@@ -1,0 +1,119 @@
+"""Unit + property tests for StepSeries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MetricsError
+from repro.metrics.timeseries import StepSeries
+
+
+def series(points):
+    s = StepSeries("test")
+    for t, v in points:
+        s.append(t, v)
+    return s
+
+
+class TestAppend:
+    def test_monotone_times_required(self):
+        s = series([(0.0, 1.0), (5.0, 2.0)])
+        with pytest.raises(MetricsError):
+            s.append(3.0, 9.0)
+
+    def test_equal_time_overwrites(self):
+        s = series([(0.0, 1.0), (5.0, 2.0), (5.0, 3.0)])
+        assert len(s) == 2
+        assert s.value_at(5.0) == 3.0
+
+    def test_empty_flag(self):
+        assert StepSeries().empty
+        assert not series([(0.0, 1.0)]).empty
+
+
+class TestQueries:
+    def test_value_at_step_semantics(self):
+        s = series([(0.0, 1.0), (10.0, 2.0)])
+        assert s.value_at(0.0) == 1.0
+        assert s.value_at(9.99) == 1.0
+        assert s.value_at(10.0) == 2.0
+        assert s.value_at(50.0) == 2.0
+
+    def test_value_before_first_point_raises(self):
+        s = series([(5.0, 1.0)])
+        with pytest.raises(MetricsError):
+            s.value_at(4.0)
+
+    def test_resample(self):
+        s = series([(0.0, 1.0), (10.0, 3.0)])
+        grid = np.array([0.0, 5.0, 10.0, 15.0])
+        assert np.allclose(s.resample(grid), [1.0, 1.0, 3.0, 3.0])
+
+    def test_integral(self):
+        s = series([(0.0, 1.0), (10.0, 3.0), (20.0, 0.0)])
+        assert s.integral(0.0, 20.0) == pytest.approx(10 * 1 + 10 * 3)
+        assert s.integral(5.0, 15.0) == pytest.approx(5 * 1 + 5 * 3)
+
+    def test_mean(self):
+        s = series([(0.0, 1.0), (10.0, 3.0)])
+        assert s.mean(0.0, 20.0) == pytest.approx((10 + 30) / 20)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(MetricsError):
+            StepSeries().value_at(0.0)
+        with pytest.raises(MetricsError):
+            StepSeries().mean()
+
+    def test_empty_mean_window_raises(self):
+        s = series([(0.0, 1.0)])
+        with pytest.raises(MetricsError):
+            s.mean(5.0, 5.0)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1000),
+                st.floats(min_value=-10, max_value=10),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_integral_additivity(self, raw_points):
+        pts = sorted(raw_points, key=lambda p: p[0])
+        s = StepSeries()
+        for t, v in pts:
+            s.append(t, v)
+        lo, hi = s.t_start, s.t_end
+        if hi <= lo:
+            return
+        mid = (lo + hi) / 2
+        whole = s.integral(lo, hi)
+        split = s.integral(lo, mid) + s.integral(mid, hi)
+        assert whole == pytest.approx(split, abs=1e-6)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=5),
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_mean_within_value_range(self, raw_points):
+        pts = sorted(raw_points, key=lambda p: p[0])
+        s = StepSeries()
+        for t, v in pts:
+            s.append(t, v)
+        if s.t_end <= s.t_start:
+            return
+        mean = s.mean()
+        _, values = s.arrays()
+        assert values.min() - 1e-9 <= mean <= values.max() + 1e-9

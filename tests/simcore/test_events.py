@@ -1,0 +1,52 @@
+"""Unit tests for simcore.events."""
+
+from __future__ import annotations
+
+from repro.simcore.events import Event, EventKind
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        a = Event(time=1.0)
+        b = Event(time=2.0)
+        assert a < b
+        assert not b < a
+
+    def test_ties_broken_by_priority(self):
+        lo = Event(time=5.0, priority=-1)
+        hi = Event(time=5.0, priority=1)
+        assert lo < hi
+
+    def test_ties_broken_by_scheduling_order(self):
+        first = Event(time=5.0)
+        second = Event(time=5.0)
+        assert first < second
+        assert first.seq < second.seq
+
+    def test_sort_key_shape(self):
+        e = Event(time=3.5, priority=2)
+        assert e.sort_key() == (3.5, 2, e.seq)
+
+
+class TestEventFire:
+    def test_fire_invokes_callback_with_event(self):
+        seen = []
+        e = Event(time=0.0, callback=seen.append)
+        e.fire()
+        assert seen == [e]
+
+    def test_fire_without_callback_is_noop(self):
+        Event(time=0.0).fire()  # must not raise
+
+    def test_payload_carried(self):
+        e = Event(time=0.0, payload={"cid": 3})
+        assert e.payload == {"cid": 3}
+
+    def test_default_kind_is_generic(self):
+        assert Event(time=0.0).kind is EventKind.GENERIC
+
+
+class TestEventKind:
+    def test_all_kinds_distinct_values(self):
+        values = [k.value for k in EventKind]
+        assert len(values) == len(set(values))

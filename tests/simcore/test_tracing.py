@@ -1,0 +1,59 @@
+"""Unit tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.simcore.tracing import Tracer
+
+
+class TestTracer:
+    def test_records_appended(self):
+        tr = Tracer()
+        tr.record(1.0, "a.b", "msg", x=1)
+        assert len(tr) == 1
+        rec = tr.records()[0]
+        assert rec.time == 1.0 and rec.topic == "a.b" and rec.data == {"x": 1}
+
+    def test_disabled_drops_records(self):
+        tr = Tracer(enabled=False)
+        tr.record(1.0, "a", "m")
+        assert len(tr) == 0
+
+    def test_topic_prefix_filter(self):
+        tr = Tracer()
+        tr.record(1.0, "core.algorithm1", "x")
+        tr.record(2.0, "core.listener", "y")
+        tr.record(3.0, "worker.exit", "z")
+        assert len(tr.records("core")) == 2
+        assert len(tr.records("core.listener")) == 1
+        assert len(tr.records("worker")) == 1
+
+    def test_prefix_filter_does_not_match_partial_words(self):
+        tr = Tracer()
+        tr.record(1.0, "corex.algorithm", "x")
+        assert tr.records("core") == []
+
+    def test_truncation_stops_recording(self):
+        tr = Tracer(max_records=3)
+        for i in range(5):
+            tr.record(float(i), "t", "m")
+        assert len(tr) == 3
+        assert tr.truncated
+
+    def test_clear_resets(self):
+        tr = Tracer(max_records=1)
+        tr.record(0.0, "t", "m")
+        tr.record(1.0, "t", "m")
+        tr.clear()
+        assert len(tr) == 0 and not tr.truncated
+
+    def test_topics(self):
+        tr = Tracer()
+        tr.record(0.0, "a", "m")
+        tr.record(0.0, "b", "m")
+        assert tr.topics() == {"a", "b"}
+
+    def test_dump_contains_message(self):
+        tr = Tracer()
+        tr.record(1.5, "topic", "hello world")
+        assert "hello world" in tr.dump()
+        assert "topic" in tr.dump()

@@ -1,0 +1,69 @@
+"""Unit tests for the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_parses_number_and_seed(self):
+        args = build_parser().parse_args(["fig", "12", "--seed", "7"])
+        assert args.number == 12 and args.seed == 7
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.jobs == 10 and args.alpha == 0.10
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig 12" in out and "table 2" in out
+
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "VAE (Pytorch)" in out
+
+    def test_fig_unknown_number_errors(self, capsys):
+        assert main(["fig", "99"]) == 2
+        assert "no figure 99" in capsys.readouterr().err
+
+    def test_table_unknown_number_errors(self, capsys):
+        assert main(["table", "7"]) == 2
+
+    def test_fig1(self, capsys):
+        assert main(["fig", "1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "NA" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction %" in out
+
+    def test_compare_fixed_three(self, capsys):
+        assert main([
+            "compare", "--jobs", "3", "--alpha", "0.05",
+            "--itval", "20", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wins" in out and "makespan" in out
+
+    def test_sweep(self, capsys):
+        assert main([
+            "sweep", "--alphas", "0.05", "--itvals", "20", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "itval=20" in out

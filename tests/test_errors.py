@@ -1,0 +1,32 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(errors.ConfigError, ValueError)
+
+    def test_unknown_container_is_key_error(self):
+        assert issubclass(errors.UnknownContainerError, KeyError)
+
+    def test_layer_grouping(self):
+        assert issubclass(errors.EventQueueError, errors.SimulationError)
+        assert issubclass(errors.ClockError, errors.SimulationError)
+        assert issubclass(errors.AllocationError, errors.ContainerError)
+        assert issubclass(errors.CurveError, errors.WorkloadError)
+        assert issubclass(errors.CapacityError, errors.ClusterError)
+        assert issubclass(errors.ListMembershipError, errors.SchedulerError)
+
+    def test_single_except_clause_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CurveError("bad tau")

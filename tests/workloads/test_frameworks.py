@@ -1,0 +1,52 @@
+"""Unit tests for framework profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.frameworks import (
+    FRAMEWORK_PROFILES,
+    Framework,
+    FrameworkProfile,
+)
+
+
+class TestFramework:
+    def test_short_tags(self):
+        assert Framework.PYTORCH.short == "P"
+        assert Framework.TENSORFLOW.short == "T"
+
+    def test_profiles_exist_for_all_frameworks(self):
+        for fw in Framework:
+            assert fw in FRAMEWORK_PROFILES
+
+    def test_tensorflow_has_heavier_startup(self):
+        pt = FRAMEWORK_PROFILES[Framework.PYTORCH]
+        tf = FRAMEWORK_PROFILES[Framework.TENSORFLOW]
+        assert tf.startup_work > pt.startup_work
+
+    def test_demand_factor_in_range(self):
+        for profile in FRAMEWORK_PROFILES.values():
+            assert 0.0 < profile.demand_factor <= 1.0
+
+
+class TestValidation:
+    def test_negative_startup_rejected(self):
+        with pytest.raises(ConfigError):
+            FrameworkProfile(
+                framework=Framework.PYTORCH,
+                startup_work=-1.0,
+                demand_factor=1.0,
+                image_prefix="x",
+            )
+
+    def test_bad_demand_factor_rejected(self):
+        for bad in (0.0, 1.5):
+            with pytest.raises(ConfigError):
+                FrameworkProfile(
+                    framework=Framework.PYTORCH,
+                    startup_work=0.0,
+                    demand_factor=bad,
+                    image_prefix="x",
+                )

@@ -1,0 +1,102 @@
+"""Unit tests for the model zoo (Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.frameworks import Framework
+from repro.workloads.models import MODEL_ZOO, make_job, zoo_keys
+
+
+class TestZooContents:
+    def test_table1_models_present(self):
+        keys = set(zoo_keys())
+        for expected in (
+            "vae@pytorch",
+            "vae@tensorflow",
+            "mnist@pytorch",
+            "mnist@tensorflow",
+            "lstm_cfc@tensorflow",
+            "lstm_crf@pytorch",
+            "birnn@tensorflow",
+            "gru@tensorflow",
+        ):
+            assert expected in keys
+
+    def test_fig1_extras_present(self):
+        assert "cnn_lstm@tensorflow" in MODEL_ZOO
+        assert "logreg@tensorflow" in MODEL_ZOO
+
+    def test_display_names_match_paper_style(self):
+        assert MODEL_ZOO["vae@pytorch"].display_name == "VAE (Pytorch)"
+        assert MODEL_ZOO["mnist@tensorflow"].display_name == "MNIST (Tensorflow)"
+
+    def test_every_profile_builds_a_working_job(self):
+        for key in zoo_keys():
+            job = make_job(key)
+            e_start = job.eval_value()
+            job.advance(job.total_work)
+            assert job.finished
+            assert job.eval_value() != e_start
+
+    def test_lstm_cfc_cannot_saturate_node(self):
+        # §5.4 / Fig. 11: the CFC idles part of the node even alone.
+        job = make_job("lstm_cfc@tensorflow")
+        assert job.footprint.cpu_demand < 0.5
+
+    def test_vae_is_the_early_converger(self):
+        job = make_job("vae@pytorch")
+        job.advance(job.total_work * 0.15)
+        assert job.improvement_fraction() > 0.95
+
+    def test_classifier_models_keep_growing_late(self):
+        job = make_job("mnist@pytorch")
+        job.advance(job.total_work * 0.80)
+        assert job.improvement_fraction() < 0.95
+
+    def test_image_labels(self):
+        assert MODEL_ZOO["vae@pytorch"].image == "pytorch/vae"
+        assert MODEL_ZOO["gru@tensorflow"].image == "tensorflow/gru"
+
+
+class TestMakeJob:
+    def test_unknown_key_raises(self):
+        with pytest.raises(WorkloadError):
+            make_job("resnet@jax")
+
+    def test_framework_startup_becomes_warmup(self):
+        job = make_job("mnist@tensorflow")
+        assert job.warmup_work > 0
+        assert job.total_work > MODEL_ZOO["mnist@tensorflow"].base_work
+
+    def test_work_scale(self):
+        small = make_job("mnist@pytorch", work_scale=0.5)
+        big = make_job("mnist@pytorch", work_scale=2.0)
+        assert big.total_work > small.total_work
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(WorkloadError):
+            make_job("mnist@pytorch", work_scale=0.0)
+
+    def test_size_jitter_bounds(self):
+        rng = np.random.default_rng(0)
+        base = MODEL_ZOO["gru@tensorflow"].base_work
+        for _ in range(20):
+            job = make_job("gru@tensorflow", rng=rng, size_jitter=0.2)
+            scaled = job.total_work - job.warmup_work
+            assert 0.8 * base - 1e-9 <= scaled <= 1.2 * base + 1e-9
+
+    def test_invalid_jitter_raises(self):
+        with pytest.raises(WorkloadError):
+            make_job("gru@tensorflow", size_jitter=1.5)
+
+    def test_tensorflow_demand_factor_applied(self):
+        tf_job = make_job("vae@tensorflow")
+        pt_job = make_job("vae@pytorch")
+        assert tf_job.footprint.cpu_demand < pt_job.footprint.cpu_demand
+
+    def test_framework_tags(self):
+        assert MODEL_ZOO["vae@pytorch"].framework is Framework.PYTORCH
+        assert MODEL_ZOO["vae@tensorflow"].framework is Framework.TENSORFLOW
