@@ -1,0 +1,61 @@
+"""Micro-benchmark — event-queue push/cancel/pop churn.
+
+Exercises the exact pattern the worker's exit rescheduling produces:
+every reallocation cancels and re-pushes projected exits, so a long run
+is dominated by cancel+push churn with a growing graveyard of dead
+entries.  The amortized compaction keeps ``pop``/``peek`` scanning the
+live size, not the historical size; this bench pins that behaviour so a
+regression (graveyard scans returning) shows up as a step in the
+trajectory files.
+"""
+
+from repro.simcore.equeue import EventQueue
+from repro.simcore.events import Event
+
+#: Containers being rescheduled (matches a deep-oversubscription node).
+_N_JOBS = 50
+#: Reallocation rounds (one cancel + one push per job per round).
+_ROUNDS = 400
+
+
+def _churn() -> int:
+    q = EventQueue()
+    handles = [q.push(Event(time=float(1 + i))) for i in range(_N_JOBS)]
+    for r in range(_ROUNDS):
+        base = float(2 + r)
+        for i in range(_N_JOBS):
+            q.cancel(handles[i])
+            handles[i] = q.push(Event(time=base + i * 1e-3))
+    drained = 0
+    while q:
+        q.pop()
+        drained += 1
+    return drained
+
+
+def test_perf_queue_reschedule_churn(benchmark):
+    drained = benchmark(_churn)
+    assert drained == _N_JOBS
+
+
+def _mixed_ops() -> int:
+    """Interleaved schedule/cancel/pop with a rolling event horizon."""
+    q = EventQueue()
+    handles = []
+    fired = 0
+    for i in range(20_000):
+        handles.append(q.push(Event(time=float(i % 977))))
+        if i % 3 == 0 and handles:
+            q.cancel(handles[i // 3])
+        if i % 5 == 0 and q:
+            q.pop()
+            fired += 1
+    while q:
+        q.pop()
+        fired += 1
+    return fired
+
+
+def test_perf_queue_mixed_ops(benchmark):
+    fired = benchmark(_mixed_ops)
+    assert fired > 0

@@ -1,12 +1,62 @@
 """Benchmark-suite configuration.
 
-Makes the ``benchmarks`` directory importable (for ``_render``) and keeps
-pytest-benchmark's comparison machinery quiet for single-shot runs.
+Makes the ``benchmarks`` directory importable (for ``_render``), keeps
+pytest-benchmark's comparison machinery quiet for single-shot runs, and
+wires JSON export: unless the caller already passed ``--benchmark-json``
+(or disabled benchmarking), every benchmark session appends a timestamped
+``BENCH_<UTC>.json`` trajectory file next to the benches, so perf history
+accumulates run over run with zero extra flags.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def _targets_benchmarks(config) -> bool:
+    """Whether this pytest invocation points at the benchmarks directory.
+
+    The repo-root tier-1 run traverses this conftest too; only actual
+    benchmark sessions should start a trajectory file.
+    """
+    bench_dir = Path(__file__).parent.resolve()
+    for arg in config.args:
+        p = Path(str(arg).split("::")[0])
+        if not p.is_absolute():
+            p = Path(config.invocation_params.dir) / p
+        try:
+            p = p.resolve()
+        except OSError:
+            continue
+        if p == bench_dir or bench_dir in p.parents:
+            return True
+    return False
+
+
+def pytest_configure(config) -> None:
+    opt = config.option
+    if not hasattr(opt, "benchmark_json"):  # pytest-benchmark not installed
+        return
+    if getattr(opt, "benchmark_disable", False):
+        return
+    if opt.benchmark_json is not None:
+        return
+    if not _targets_benchmarks(config):
+        return
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    path = Path(__file__).parent / f"BENCH_{stamp}.json"
+    try:
+        opt.benchmark_json = path.open("wb")
+    except OSError:  # read-only checkout: benchmarks still run, no export
+        return
+    config._repro_bench_json_path = str(path)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    path = getattr(config, "_repro_bench_json_path", None)
+    if path is not None:
+        terminalreporter.write_line(f"benchmark JSON trajectory: {path}")

@@ -5,12 +5,17 @@ Generalizes the paper's Figs. 3–6 into a grid over any workload and
 prints a heat-table of per-job reductions and makespan deltas — the tool
 an operator would use to pick α and itval for their own job mix.
 
+The 20 grid cells are independent runs, so the sweep fans out over all
+local cores through the batch runner (``workers=``): results are
+identical to a serial sweep at any worker count.
+
 Run:
     python examples/parameter_sweep.py
 """
 
 from repro import SimulationConfig
 from repro.analysis.sweeps import sweep_grid
+from repro.experiments.batch import default_workers
 from repro.experiments.report import render_header, render_table
 from repro.experiments.scenarios import fixed_three_job
 
@@ -23,6 +28,7 @@ def main() -> None:
         alphas=alphas,
         itvals=itvals,
         sim_config=SimulationConfig(seed=1, trace=False),
+        workers=default_workers(),
     )
 
     print(render_header(

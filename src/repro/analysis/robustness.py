@@ -4,12 +4,16 @@ The paper reports single runs on a small testbed; a natural question for
 a reproduction is whether the headline shapes (win counts, makespan
 parity) hold across random universes or were one lucky draw.
 :func:`seed_study` re-runs a scenario family over many seeds and
-aggregates win-rate and makespan-delta distributions.
+aggregates win-rate and makespan-delta distributions.  The per-seed
+FlowCon/NA pairs are independent simulations, so the study executes
+through the :mod:`~repro.experiments.batch` runner and parallelizes
+with ``workers=N`` (identical aggregates at any worker count).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -19,7 +23,7 @@ from repro.baselines.na import NAPolicy
 from repro.config import FlowConConfig, SimulationConfig
 from repro.core.policy import FlowConPolicy
 from repro.errors import ExperimentError
-from repro.experiments.runner import run_scenario
+from repro.experiments.batch import run_many
 from repro.workloads.generator import WorkloadSpec
 
 __all__ = ["SeedStudyResult", "seed_study"]
@@ -62,6 +66,7 @@ def seed_study(
     seeds: list[int] | None = None,
     flowcon: FlowConConfig | None = None,
     sim_template: SimulationConfig | None = None,
+    workers: int = 1,
 ) -> SeedStudyResult:
     """Run ``FlowCon vs NA`` over many seeds of one scenario family.
 
@@ -76,6 +81,10 @@ def seed_study(
         FlowCon parameters (default: the paper's 10-job setting).
     sim_template:
         Substrate parameters; the seed field is overridden per run.
+    workers:
+        Process count for the batch runner; the 2×len(seeds) runs are
+        independent, so the study scales across processes with
+        identical aggregates.
     """
     if seeds is None:
         seeds = list(range(10))
@@ -88,13 +97,21 @@ def seed_study(
         trace=False
     )
 
-    win_rates, makespans, bests, worsts = [], [], [], []
+    # Interleaved NA/FlowCon pairs, one pair per seed, one flat batch.
+    specs_list, factories, run_seeds = [], [], []
     for seed in seeds:
         specs = scenario(seed)
-        sim_cfg = template.with_params(seed=seed)
-        na = run_scenario(specs, NAPolicy(), sim_cfg)
-        fc = run_scenario(specs, FlowConPolicy(fc_cfg), sim_cfg)
-        report = compare_runs(na.summary, fc.summary)
+        specs_list.extend([specs, specs])
+        factories.extend([NAPolicy, partial(FlowConPolicy, fc_cfg)])
+        run_seeds.extend([seed, seed])
+    records = run_many(
+        specs_list, factories, template, workers=workers, seeds=run_seeds
+    )
+
+    win_rates, makespans, bests, worsts = [], [], [], []
+    for i in range(len(seeds)):
+        na, fc = records[2 * i], records[2 * i + 1]
+        report = compare_runs(na.summary(), fc.summary())
         win_rates.append(report.wins / report.n_jobs)
         makespans.append(report.makespan_reduction)
         bests.append(report.best[1])

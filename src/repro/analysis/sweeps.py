@@ -2,19 +2,23 @@
 
 Generalizes the paper's Figs. 3–6 to arbitrary (α, itval) grids and
 workloads; the ablation benches use it to map where FlowCon's advantage
-comes from.
+comes from.  Cells are independent runs, so the grid executes through
+the :mod:`~repro.experiments.batch` runner and parallelizes across
+processes with ``workers=N`` — results are identical at any worker
+count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.analysis.compare import ComparisonReport, compare_runs
 from repro.baselines.na import NAPolicy
 from repro.config import FlowConConfig, SimulationConfig
 from repro.core.policy import FlowConPolicy
 from repro.errors import ExperimentError
-from repro.experiments.runner import run_scenario
+from repro.experiments.batch import run_many
 from repro.workloads.generator import WorkloadSpec
 
 __all__ = ["SweepCell", "SweepGrid", "sweep_grid"]
@@ -61,6 +65,7 @@ def sweep_grid(
     *,
     sim_config: SimulationConfig | None = None,
     base_config: FlowConConfig | None = None,
+    workers: int = 1,
 ) -> SweepGrid:
     """Run FlowCon over an (α × itval) grid against one shared NA run.
 
@@ -75,27 +80,42 @@ def sweep_grid(
     base_config:
         Template FlowCon config whose other fields (β, back-off,
         listeners) apply to every cell — the ablation hook.
+    workers:
+        Process count for the batch runner; cells (and the NA reference)
+        are independent runs, so ``workers=N`` executes the grid N-wide
+        with identical results.
     """
     if not alphas or not itvals:
         raise ExperimentError("sweep needs non-empty alpha and itval axes")
     cfg = sim_config if sim_config is not None else SimulationConfig(trace=False)
     template = base_config if base_config is not None else FlowConConfig()
 
-    na = run_scenario(specs, NAPolicy(), cfg)
-    cells: list[SweepCell] = []
-    for alpha in alphas:
-        for itval in itvals:
-            fc_cfg = template.with_params(alpha=alpha, itval=itval)
-            result = run_scenario(specs, FlowConPolicy(fc_cfg), cfg)
-            cells.append(
-                SweepCell(
-                    alpha=alpha,
-                    itval=itval,
-                    report=compare_runs(
-                        na.summary,
-                        result.summary,
-                        treatment_name=fc_cfg.describe(),
-                    ),
-                )
-            )
+    grid_cfgs = [
+        template.with_params(alpha=alpha, itval=itval)
+        for alpha in alphas
+        for itval in itvals
+    ]
+    factories = [NAPolicy] + [
+        partial(FlowConPolicy, fc_cfg) for fc_cfg in grid_cfgs
+    ]
+    records = run_many(
+        [specs] * len(factories),
+        factories,
+        cfg,
+        workers=workers,
+        labels=["NA"] + [fc_cfg.describe() for fc_cfg in grid_cfgs],
+    )
+    na_summary = records[0].summary()
+    cells = [
+        SweepCell(
+            alpha=fc_cfg.alpha,
+            itval=fc_cfg.itval,
+            report=compare_runs(
+                na_summary,
+                record.summary(),
+                treatment_name=fc_cfg.describe(),
+            ),
+        )
+        for fc_cfg, record in zip(grid_cfgs, records[1:])
+    ]
     return SweepGrid(cells=cells)

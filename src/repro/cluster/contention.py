@@ -114,7 +114,7 @@ class ContentionModel:
         amplitude = np.where(
             limits >= self.limit_threshold, self.jitter_free, self.jitter_limited
         )
-        if np.all(amplitude == 0.0):
+        if not amplitude.any():
             return np.ones(n, dtype=np.float64)
         return 1.0 + rng.uniform(-1.0, 1.0, size=n) * amplitude
 
@@ -141,6 +141,6 @@ class ContentionModel:
         amplitude = np.where(
             free, self.jitter_free * room, self.jitter_limited
         )
-        if np.all(amplitude == 0.0):
+        if not amplitude.any():
             return np.ones(n, dtype=np.float64)
         return 1.0 + rng.uniform(-1.0, 1.0, size=n) * amplitude

@@ -15,6 +15,17 @@ limit update, exit, poke) first *settles* — delivers ``A · efficiency ·
 advances the cgroup counters — then mutates state, then *reallocates* and
 reschedules exits.  Because allocations are piecewise constant this is
 exact, with no time-stepping error (see DESIGN.md §6).
+
+Hot-path notes
+--------------
+Settlement is vectorized: per-container work and cgroup usage rows are
+computed with numpy over the active-container arrays and applied in bulk.
+The element-wise operations are exactly those of the scalar formulation
+(same IEEE-754 ops in the same order per element), so results are
+bit-identical to the historical per-container loop.  Exit rescheduling is
+*incremental*: projections are keyed by cid and the scheduled event is
+reused whenever the recomputed finish time is unchanged, instead of
+tearing down every exit event on each reallocation.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from repro.cluster.pool import ContainerPool
 from repro.containers.allocator import AllocationMode, CpuAllocator
 from repro.containers.container import Container, Workload
 from repro.containers.runtime import ContainerRuntime
+from repro.containers.spec import ResourceSpec
 from repro.errors import CapacityError
 from repro.simcore.engine import Simulator
 from repro.simcore.equeue import EventHandle
@@ -55,6 +67,13 @@ class Worker:
         pure work-conserving behaviour.
     allocation_mode:
         Soft (paper semantics) or hard limits.
+    reschedule_tolerance:
+        Absolute tolerance (seconds) under which a container's projected
+        exit is considered unchanged and its scheduled event is kept.
+        The default ``0.0`` keeps only bit-identical projections, which
+        preserves exact replay parity; a small positive value (e.g.
+        ``1e-6``) further reduces event-queue churn for reschedule-heavy
+        workloads at the cost of up-to-tolerance completion-time drift.
     """
 
     def __init__(
@@ -65,9 +84,14 @@ class Worker:
         capacity: float = 1.0,
         contention: ContentionModel | None = None,
         allocation_mode: AllocationMode = AllocationMode.SOFT,
+        reschedule_tolerance: float = 0.0,
     ) -> None:
         if capacity <= 0:
             raise CapacityError(f"capacity must be positive, got {capacity!r}")
+        if reschedule_tolerance < 0:
+            raise CapacityError(
+                f"reschedule_tolerance must be >= 0, got {reschedule_tolerance!r}"
+            )
         self.sim = sim
         self.name = name
         self.capacity = float(capacity)
@@ -75,6 +99,7 @@ class Worker:
         self.allocator = CpuAllocator(allocation_mode)
         self.runtime = ContainerRuntime(clock=lambda: sim.now)
         self.pool = ContainerPool()
+        self.reschedule_tolerance = float(reschedule_tolerance)
         self._rng = sim.rngs.stream(f"{name}.jitter")
 
         self._last_settle = sim.now
@@ -82,6 +107,10 @@ class Worker:
         self._allocs = np.zeros(0, dtype=np.float64)
         self._exit_handles: dict[int, EventHandle] = {}
         self._in_batch = False
+        #: Cached (footprint objects, per-resource arrays) for the active
+        #: set; invalidated whenever a footprint object changes identity.
+        self._fp_objs: list[ResourceSpec] | None = None
+        self._fp_arrays: tuple[np.ndarray, ...] | None = None
         #: Hooks invoked after a container exits: f(container).
         self.exit_hooks: list = []
         #: Hooks invoked after a container launches: f(container).
@@ -106,11 +135,12 @@ class Worker:
             name = getattr(job, "name", None)
         container = self.runtime.run(job, name=name, image=image)
         self.pool.add(container, self.sim.now)
-        self.sim.trace(
-            "worker.launch",
-            f"{self.name}: launched {container.name} ({image})",
-            cid=container.cid,
-        )
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "worker.launch",
+                f"{self.name}: launched {container.name} ({image})",
+                cid=container.cid,
+            )
         self._reallocate()
         for hook in self.launch_hooks:
             hook(container)
@@ -156,20 +186,77 @@ class Worker:
     # -- settlement -----------------------------------------------------------------
 
     def settle(self) -> None:
-        """Integrate progress from ``_last_settle`` to now."""
+        """Integrate progress from ``_last_settle`` to now (vectorized)."""
         now = self.sim.now
         dt = now - self._last_settle
         if dt <= 0:
             return
-        if self._active:
+        active = self._active
+        if active:
+            footprints = [c.job.footprint for c in active]
             eff = self.contention.efficiency(
-                len(self._active), self.memory_used()
+                len(active), float(sum(fp.memory for fp in footprints))
             )
-            for container, alloc in zip(self._active, self._allocs):
-                container.job.advance(alloc * eff * dt)
-                container.cgroup.accumulate(dt, container.usage_at(alloc))
-                container.cgroup.checkpoint()
+            arrays = self._footprint_arrays(footprints)
+            if arrays is not None:
+                demands, mems, blkios, netios = arrays
+                allocs = self._allocs
+                # Same per-element IEEE ops as the scalar formulation:
+                # work   = (alloc * eff) * dt
+                # usage  = (min(alloc, demand), mem, blkio·scale, netio·scale)
+                # contrib = usage * dt
+                work = self._allocs * eff * dt
+                rates = np.minimum(allocs, demands)
+                scales = rates / demands
+                contrib = np.empty((len(active), 4), dtype=np.float64)
+                contrib[:, 0] = rates * dt
+                contrib[:, 1] = mems * dt
+                contrib[:, 2] = blkios * scales * dt
+                contrib[:, 3] = netios * scales * dt
+                for i, container in enumerate(active):
+                    container.job.advance(work[i])
+                    container.cgroup.settle_add(dt, contrib[i])
+            else:
+                # Fallback for exotic Workload implementations whose
+                # footprint is not a plain ResourceSpec (it may override
+                # usage_at); identical arithmetic, container at a time.
+                for container, alloc in zip(active, self._allocs):
+                    container.job.advance(alloc * eff * dt)
+                    container.cgroup.accumulate(dt, container.usage_at(alloc))
+                    container.cgroup.checkpoint()
         self._last_settle = now
+
+    def _footprint_arrays(
+        self, footprints: list[ResourceSpec]
+    ) -> tuple[np.ndarray, ...] | None:
+        """Per-resource arrays for the active set, cached between settles.
+
+        Returns ``None`` when any footprint is not a plain
+        :class:`ResourceSpec` (settlement then uses the scalar fallback).
+        The cache is keyed on object identity, so a workload swapping its
+        footprint between settles is picked up exactly like the historical
+        per-container reads.
+        """
+        cached = self._fp_objs
+        if (
+            cached is not None
+            and len(cached) == len(footprints)
+            and all(a is b for a, b in zip(cached, footprints))
+        ):
+            return self._fp_arrays
+        for fp in footprints:
+            if type(fp) is not ResourceSpec:
+                self._fp_objs = None
+                self._fp_arrays = None
+                return None
+        self._fp_objs = footprints
+        self._fp_arrays = (
+            np.array([fp.cpu_demand for fp in footprints], dtype=np.float64),
+            np.array([fp.memory for fp in footprints], dtype=np.float64),
+            np.array([fp.blkio for fp in footprints], dtype=np.float64),
+            np.array([fp.netio for fp in footprints], dtype=np.float64),
+        )
+        return self._fp_arrays
 
     def _reallocate(self) -> None:
         """Recompute CPU shares for the current pool and reschedule exits."""
@@ -177,6 +264,7 @@ class Worker:
         self._active = running
         if not running:
             self._allocs = np.zeros(0, dtype=np.float64)
+            self._cancel_all_exits()
             return
         limits = np.array([c.limits.cpu for c in running], dtype=np.float64)
         demands = np.array([c.demand() for c in running], dtype=np.float64)
@@ -194,31 +282,71 @@ class Worker:
             container.current_alloc = float(alloc)
         self._reschedule_exits()
 
+    def _cancel_all_exits(self) -> None:
+        if self._exit_handles:
+            cancel = self.sim.cancel
+            for handle in self._exit_handles.values():
+                cancel(handle)
+            self._exit_handles.clear()
+
     def _reschedule_exits(self) -> None:
-        """Project each running job's finish time and (re)schedule its exit."""
-        for handle in self._exit_handles.values():
-            self.sim.cancel(handle)
-        self._exit_handles.clear()
-        if not self._active:
+        """Project each running job's finish time and (re)schedule its exit.
+
+        Incremental: projections are keyed by cid and an outstanding exit
+        event is kept whenever the recomputed finish time matches it
+        (within :attr:`reschedule_tolerance`, default exact), so a
+        reallocation that leaves some containers' rates unchanged touches
+        only the projections that actually moved.
+        """
+        active = self._active
+        handles = self._exit_handles
+        if not active:
+            self._cancel_all_exits()
             return
-        eff = self.contention.efficiency(
-            len(self._active), self.memory_used()
-        )
+        eff = self.contention.efficiency(len(active), self.memory_used())
         now = self.sim.now
-        for container, alloc in zip(self._active, self._allocs):
-            rate = alloc * eff
+        tol = self.reschedule_tolerance
+        allocs = self._allocs
+        schedule = self.sim.schedule
+        cancel = self.sim.cancel
+        seen: set[int] = set()
+        for i, container in enumerate(active):
+            cid = container.cid
+            rate = allocs[i] * eff
             if rate <= 0:
-                continue  # starved: will be rescheduled on the next change
+                # Starved: no projection until the next allocation change.
+                old = handles.pop(cid, None)
+                if old is not None:
+                    cancel(old)
+                continue
+            seen.add(cid)
             t_finish = now + container.job.remaining_work() / rate
-            self._exit_handles[container.cid] = self.sim.schedule(
+            old = handles.get(cid)
+            if old is not None and old.alive:
+                delta = t_finish - old.event.time
+                if delta == 0.0 or (tol > 0.0 and abs(delta) <= tol):
+                    continue  # projection unchanged: keep the event
+                cancel(old)
+            handles[cid] = schedule(
                 t_finish,
                 self._on_exit_event,
                 kind=EventKind.CONTAINER_EXIT,
                 priority=PRIORITY_EXIT,
-                payload=container.cid,
+                payload=cid,
             )
+        if len(handles) > len(seen):
+            for cid in [c for c in handles if c not in seen]:
+                cancel(handles.pop(cid))
 
     def _on_exit_event(self, event: Event) -> None:
+        """Handle a projected container exit.
+
+        Exactly one reallocation happens per exit event: either the job
+        really finished (exit path) or the projection was stale (the
+        allocation changed between scheduling and firing), and in both
+        cases the single trailing :meth:`_reallocate` re-projects the
+        remaining pool.
+        """
         cid = int(event.payload)
         self._exit_handles.pop(cid, None)
         self.settle()
@@ -226,22 +354,21 @@ class Worker:
         job = container.job
         if not job.finished and job.remaining_work() <= _FINISH_EPS:
             job.advance(job.remaining_work())
-        if not job.finished:
-            # Stale projection (allocation changed between scheduling and
-            # firing without cancellation) — re-project and keep running.
-            self._reallocate()
-            return
-        self.runtime.mark_exited(cid)
-        self.pool.discard(cid, self.sim.now)
-        self.sim.trace(
-            "worker.exit",
-            f"{self.name}: {container.name} exited "
-            f"(completion {container.completion_time():.1f}s)",
-            cid=cid,
-        )
+        exited = job.finished
+        if exited:
+            self.runtime.mark_exited(cid)
+            self.pool.discard(cid, self.sim.now)
+            if self.sim.trace_enabled:
+                self.sim.trace(
+                    "worker.exit",
+                    f"{self.name}: {container.name} exited "
+                    f"(completion {container.completion_time():.1f}s)",
+                    cid=cid,
+                )
         self._reallocate()
-        for hook in self.exit_hooks:
-            hook(container)
+        if exited:
+            for hook in self.exit_hooks:
+                hook(container)
 
     # -- views ----------------------------------------------------------------------
 

@@ -91,7 +91,7 @@ def water_fill(
         return np.zeros(0, dtype=np.float64)
     if capacity < 0:
         raise AllocationError(f"negative capacity {capacity!r}")
-    if np.any(ceilings < -1e-12):
+    if ceilings.min() < -1e-12:
         raise AllocationError("negative ceiling in water_fill")
     ceilings = np.maximum(ceilings, 0.0)
 
@@ -101,7 +101,7 @@ def water_fill(
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != ceilings.shape:
             raise AllocationError("weights and ceilings shape mismatch")
-        if np.any(weights <= 0):
+        if weights.min() <= 0:
             raise AllocationError("weights must be strictly positive")
 
     if capacity == 0.0:
@@ -126,8 +126,11 @@ def water_fill(
 
     remaining_cap = capacity - csum_c[:-1]          # before considering k
     remaining_w = total_w - csum_w[:-1]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        candidate = np.where(remaining_w > 0, remaining_cap / remaining_w, np.inf)
+    # Suffix weight sums are positive except for float round-off at the
+    # tail; masked division avoids the (costly) errstate guard.
+    positive = remaining_w > 0
+    candidate = np.full(n, np.inf, dtype=np.float64)
+    np.divide(remaining_cap, remaining_w, out=candidate, where=positive)
     saturated = candidate >= lv_sorted - 1e-15
 
     # `saturated` is a prefix (monotone) property; find the first index
@@ -201,9 +204,9 @@ class CpuAllocator:
         n = limits.shape[0]
         if n == 0:
             return np.zeros(0, dtype=np.float64)
-        if np.any(limits <= 0) or np.any(limits > 1.0 + 1e-12):
+        if limits.min() <= 0 or limits.max() > 1.0 + 1e-12:
             raise AllocationError(f"limits must lie in (0, 1]: {limits!r}")
-        if np.any(demands < 0):
+        if demands.min() < 0:
             raise AllocationError("demands must be non-negative")
 
         demand_abs = np.minimum(demands, 1.0) * capacity

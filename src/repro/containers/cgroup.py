@@ -10,6 +10,7 @@ allocation.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,10 +49,10 @@ class CgroupAccount:
         self.last_update = float(created_at)
         # Integral of usage dt per resource, ResourceType.ordered() order.
         self._integral = np.zeros(4, dtype=np.float64)
-        # Checkpoint history: (time, integral copy) for window queries.
-        self._checkpoints: list[tuple[float, np.ndarray]] = [
-            (self.created_at, self._integral.copy())
-        ]
+        # Checkpoint history for window queries, stored as parallel lists
+        # so lookups can bisect the times without rebuilding an array.
+        self._cp_times: list[float] = [self.created_at]
+        self._cp_values: list[np.ndarray] = [self._integral.copy()]
 
     # -- accumulation ------------------------------------------------------
 
@@ -64,9 +65,24 @@ class CgroupAccount:
         self._integral += usage.as_array() * dt
         self.last_update += dt
 
+    def settle_add(self, dt: float, contrib: np.ndarray) -> None:
+        """Bulk settlement fast-path: add a precomputed ``usage · dt`` row.
+
+        The worker's vectorized settlement computes every container's
+        contribution in one numpy pass and hands each account its row;
+        this is ``accumulate`` + ``checkpoint`` without re-deriving the
+        usage vector.  *dt* must be positive (the worker already
+        early-outs on empty intervals).
+        """
+        self._integral += contrib
+        self.last_update += dt
+        self._cp_times.append(self.last_update)
+        self._cp_values.append(self._integral.copy())
+
     def checkpoint(self) -> None:
         """Record the current counters for later window queries."""
-        self._checkpoints.append((self.last_update, self._integral.copy()))
+        self._cp_times.append(self.last_update)
+        self._cp_values.append(self._integral.copy())
 
     # -- queries -----------------------------------------------------------
 
@@ -102,15 +118,15 @@ class CgroupAccount:
 
     def _integral_at(self, t: float) -> np.ndarray:
         """Counter values at time *t* (interpolating between checkpoints)."""
-        if t <= self._checkpoints[0][0]:
-            return self._checkpoints[0][1]
+        times = self._cp_times
+        if t <= times[0]:
+            return self._cp_values[0]
         if t >= self.last_update:
             return self._integral
-        times = np.array([c[0] for c in self._checkpoints])
-        idx = int(np.searchsorted(times, t, side="right")) - 1
-        t0, v0 = self._checkpoints[idx]
-        if idx + 1 < len(self._checkpoints):
-            t1, v1 = self._checkpoints[idx + 1]
+        idx = bisect_right(times, t) - 1
+        t0, v0 = times[idx], self._cp_values[idx]
+        if idx + 1 < len(times):
+            t1, v1 = times[idx + 1], self._cp_values[idx + 1]
         else:
             t1, v1 = self.last_update, self._integral
         if t1 <= t0:

@@ -5,16 +5,24 @@ per-experiment index in DESIGN.md §4).  The layering is:
 
 * :mod:`~repro.experiments.runner` — policy-agnostic "run this workload
   under this policy" engine, returning completion summaries and traces;
+* :mod:`~repro.experiments.batch` — parallel batch execution of many
+  independent runs (process-pool fan-out with compact records);
 * :mod:`~repro.experiments.scenarios` — the paper's workloads (fixed
-  3-job, random 5/10/15-job);
+  3-job, random 5/10/15-job) plus the large-scale 50-job stress mix;
 * :mod:`~repro.experiments.figures` / :mod:`~repro.experiments.tables` —
   one function per figure/table producing plain data structures;
 * :mod:`~repro.experiments.report` — ASCII rendering used by the benches.
 """
 
-from repro.experiments.multiworker import MultiWorkerResult, run_multi_worker
+from repro.experiments.batch import RunRecord, RunTask, run_many, run_tasks
+from repro.experiments.multiworker import (
+    MultiWorkerResult,
+    run_multi_worker,
+    scaling_study,
+)
 from repro.experiments.runner import RunResult, run_scenario
 from repro.experiments.scenarios import (
+    fifty_job,
     fixed_three_job,
     random_fifteen_job,
     random_five_job,
@@ -24,12 +32,18 @@ from repro.experiments.validate import validate_reproduction
 
 __all__ = [
     "MultiWorkerResult",
+    "RunRecord",
     "RunResult",
+    "RunTask",
+    "fifty_job",
     "fixed_three_job",
     "random_fifteen_job",
     "random_five_job",
     "random_ten_job",
+    "run_many",
     "run_multi_worker",
     "run_scenario",
+    "run_tasks",
+    "scaling_study",
     "validate_reproduction",
 ]

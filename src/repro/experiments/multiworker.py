@@ -25,7 +25,7 @@ from repro.simcore.engine import Simulator
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.models import MODEL_ZOO
 
-__all__ = ["MultiWorkerResult", "run_multi_worker"]
+__all__ = ["MultiWorkerResult", "run_multi_worker", "scaling_study"]
 
 
 @dataclass
@@ -140,3 +140,57 @@ def run_multi_worker(
         manager=manager,
         sim=sim,
     )
+
+
+def scaling_study(
+    specs: list[WorkloadSpec],
+    policy_factory: Callable[[], SchedulingPolicy],
+    cluster_sizes: list[int],
+    *,
+    sim_config: SimulationConfig | None = None,
+    workers: int = 1,
+):
+    """Run one workload across several cluster sizes, optionally in parallel.
+
+    The §3.1 scaling question — "how does makespan move as workers are
+    added?" — is one independent simulation per cluster size, so it runs
+    through the :mod:`~repro.experiments.batch` runner: ``workers=N``
+    executes the sizes N-wide with identical results.
+
+    Parameters
+    ----------
+    specs:
+        The workload, reused identically for every cluster size.
+    policy_factory:
+        Picklable zero-argument policy builder (fresh instance per
+        simulated worker).
+    cluster_sizes:
+        Simulated worker counts to evaluate (each ≥ 1).
+    sim_config:
+        Substrate parameters shared by every run.
+    workers:
+        *Host* process count for the batch runner (unrelated to the
+        simulated cluster sizes).
+
+    Returns
+    -------
+    list[repro.experiments.batch.RunRecord]
+        One record per cluster size, in ``cluster_sizes`` order.
+    """
+    from repro.experiments.batch import RunTask, run_tasks
+
+    if not cluster_sizes:
+        raise ExperimentError("scaling_study needs at least one cluster size")
+    cfg = sim_config if sim_config is not None else SimulationConfig(trace=False)
+    tasks = [
+        RunTask(
+            index=i,
+            specs=tuple(specs),
+            policy_factory=policy_factory,
+            sim_config=cfg,
+            n_workers=n,
+            label=f"{n}-worker",
+        )
+        for i, n in enumerate(cluster_sizes)
+    ]
+    return run_tasks(tasks, workers=workers)

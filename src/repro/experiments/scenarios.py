@@ -18,6 +18,7 @@ __all__ = [
     "random_five_job",
     "random_ten_job",
     "random_fifteen_job",
+    "fifty_job",
 ]
 
 
@@ -55,3 +56,19 @@ def random_fifteen_job(seed: int = 42) -> list[WorkloadSpec]:
     """§5.5.2's scalability workload: 15 jobs, arrivals ~ U(0, 200) s."""
     gen = WorkloadGenerator(_rng(seed, "random15"))
     return gen.random_mix(15)
+
+
+def fifty_job(
+    seed: int = 42, *, window: tuple[float, float] = (0.0, 600.0)
+) -> list[WorkloadSpec]:
+    """Large-scale stress workload: 50 jobs drawn from the paper pool.
+
+    Beyond the paper's 15-job ceiling — the scenario its Figs. 12–17
+    scalability trend points toward.  Arrivals default to U(0, 600) s
+    (the 10-job density of U(0, 200) scaled ~3×) so a single node sees
+    sustained deep oversubscription rather than one instantaneous burst.
+    Intended for the vectorized settlement/exit-rescheduling hot path and
+    the multi-worker scaling studies; pair with ``trace=False`` configs.
+    """
+    gen = WorkloadGenerator(_rng(seed, "random50"))
+    return gen.random_mix(50, window=window)

@@ -23,6 +23,7 @@ class StepSeries:
         self.name = name
         self._times: list[float] = []
         self._values: list[float] = []
+        self._last_t: float | None = None
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
 
     # -- building ----------------------------------------------------------------
@@ -34,16 +35,20 @@ class StepSeries:
         latest observation at an instant wins, matching how settlement
         followed by reallocation updates state at one event time).
         """
-        if self._times and time < self._times[-1] - 1e-12:
-            raise MetricsError(
-                f"series {self.name!r}: non-monotonic time {time!r} "
-                f"after {self._times[-1]!r}"
-            )
-        if self._times and abs(time - self._times[-1]) <= 1e-12:
-            self._values[-1] = float(value)
-        else:
-            self._times.append(float(time))
-            self._values.append(float(value))
+        last = self._last_t
+        if last is not None:
+            if time < last - 1e-12:
+                raise MetricsError(
+                    f"series {self.name!r}: non-monotonic time {time!r} "
+                    f"after {last!r}"
+                )
+            if abs(time - last) <= 1e-12:
+                self._values[-1] = float(value)
+                self._cache = None
+                return
+        self._times.append(float(time))
+        self._values.append(float(value))
+        self._last_t = float(time)
         self._cache = None
 
     # -- raw access --------------------------------------------------------------

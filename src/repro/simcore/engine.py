@@ -169,9 +169,20 @@ class Simulator:
         """Run with no horizon until the event queue drains."""
         return self.run(until=None)
 
+    @property
+    def trace_enabled(self) -> bool:
+        """Fast-path guard: whether tracing is active.
+
+        Hot paths check this before building trace messages so that
+        disabled-trace runs (large sweeps, benchmarks) skip the string
+        formatting entirely.
+        """
+        return self.tracer.enabled and not self.tracer.truncated
+
     def trace(self, topic: str, message: str, **data: Any) -> None:
         """Record a trace line stamped with the current time."""
-        self.tracer.record(self.clock.now, topic, message, **data)
+        if self.tracer.enabled:
+            self.tracer.record(self.clock.now, topic, message, **data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

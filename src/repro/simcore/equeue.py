@@ -1,10 +1,18 @@
-"""Binary-heap event queue with lazy cancellation.
+"""Binary-heap event queue with lazy cancellation and amortized compaction.
 
 The engine frequently needs to *reschedule* a container's projected exit
 event when allocations change (the projected finish time moves).  Removing
 an arbitrary element from a binary heap is O(n), so instead we use the
 classic *lazy deletion* technique: :meth:`EventQueue.cancel` marks a handle
 dead in O(1) and dead events are skipped when popped.
+
+Reschedule-heavy runs (one cancel + one push per allocation change per
+container) would otherwise grow a graveyard of dead entries that every
+``pop``/``peek`` has to scan past.  The queue therefore tracks its dead
+count and *compacts* — rebuilds the heap from the live entries in O(n) —
+once dead entries outnumber live ones.  Each dead entry is removed at most
+once, so the amortized cost per cancellation stays O(1) and ``pop`` stays
+O(log n) on the live size rather than the historical size.
 """
 
 from __future__ import annotations
@@ -17,8 +25,12 @@ from repro.simcore.events import Event
 
 __all__ = ["EventHandle", "EventQueue"]
 
+#: Compaction never triggers below this heap size — rebuilding a handful of
+#: entries costs more in constant factors than the scan it avoids.
+_COMPACT_MIN = 64
 
-@dataclass
+
+@dataclass(slots=True)
 class EventHandle:
     """Opaque handle returned by :meth:`EventQueue.push`.
 
@@ -43,12 +55,14 @@ class EventQueue:
 
     Determinism comes from :meth:`Event.sort_key`: ties on time are broken
     by priority then by scheduling order, so identical runs replay
-    identically.
+    identically.  Compaction preserves this exactly — sort keys are unique,
+    so the pop order never depends on the heap's internal arrangement.
     """
 
     def __init__(self) -> None:
         self._heap: list[tuple[tuple[float, int, int], EventHandle]] = []
         self._live = 0
+        self._dead = 0
 
     # -- mutation ----------------------------------------------------------
 
@@ -60,10 +74,12 @@ class EventQueue:
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a previously-pushed event (idempotent)."""
+        """Cancel a previously-pushed event (idempotent, amortized O(1))."""
         if handle.alive:
             handle.cancel()
             self._live -= 1
+            self._dead += 1
+            self._maybe_compact()
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
@@ -79,12 +95,40 @@ class EventQueue:
                 handle.cancel()  # consumed: prevents double-count in _live
                 self._live -= 1
                 return handle.event
+            self._dead -= 1
         raise EventQueueError("pop from an empty event queue")
 
     def clear(self) -> None:
-        """Drop every event, live or dead."""
+        """Drop every event, live or dead.
+
+        Outstanding handles are cancelled so that a stale ``cancel()``
+        issued after the clear is a no-op instead of corrupting the live
+        count (the handle would otherwise still read as alive).
+        """
+        for _, handle in self._heap:
+            handle.cancelled = True
         self._heap.clear()
         self._live = 0
+        self._dead = 0
+
+    # -- compaction --------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once dead entries outnumber live ones."""
+        if self._dead > self._live and len(self._heap) >= _COMPACT_MIN:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop all dead entries and re-heapify the survivors (O(n)).
+
+        Safe to call at any time; pop order is unchanged because sort keys
+        totally order the live entries.
+        """
+        if self._dead == 0:
+            return
+        self._heap = [entry for entry in self._heap if entry[1].alive]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     # -- inspection --------------------------------------------------------
 
@@ -97,8 +141,10 @@ class EventQueue:
 
     def _compact_head(self) -> None:
         """Pop dead entries sitting at the heap root."""
-        while self._heap and not self._heap[0][1].alive:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and not heap[0][1].alive:
+            heapq.heappop(heap)
+            self._dead -= 1
 
     def __len__(self) -> int:
         """Number of *live* events."""
@@ -109,4 +155,6 @@ class EventQueue:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         nxt = self.peek_time()
-        return f"EventQueue(live={self._live}, next_t={nxt})"
+        return (
+            f"EventQueue(live={self._live}, dead={self._dead}, next_t={nxt})"
+        )

@@ -42,7 +42,7 @@ class EventKind(enum.Enum):
     GENERIC = "generic"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A single scheduled occurrence.
 

@@ -34,7 +34,21 @@ __all__ = [
 ]
 
 
-def _check_progress(p: np.ndarray | float) -> np.ndarray:
+def _check_progress(p: np.ndarray | float) -> np.ndarray | float:
+    if type(p) in (float, np.float64, int):
+        # Scalar fast path: the simulation queries E(p) once per container
+        # per sample, so this avoids three array reductions per call.
+        if p != p:  # NaN propagates, matching the array path's np.clip
+            return np.float64(p)
+        if not (-1e-12 <= p <= 1.0 + 1e-12):
+            raise CurveError(f"progress must lie in [0, 1], got {p!r}")
+        if p < 0.0:
+            p = 0.0
+        elif p > 1.0:
+            p = 1.0
+        # np.float64 keeps the _raw arithmetic on numpy's scalar kernels,
+        # bit-identical to the historical 0-d-array evaluation.
+        return np.float64(p)
     arr = np.asarray(p, dtype=np.float64)
     if np.any(arr < -1e-12) or np.any(arr > 1.0 + 1e-12):
         raise CurveError(f"progress must lie in [0, 1], got {arr!r}")

@@ -77,6 +77,72 @@ class TestCancellation:
         q.clear()
         assert len(q) == 0 and q.peek_time() is None
 
+    def test_cancel_after_clear_is_noop(self):
+        """Regression: clear() must cancel outstanding handles.
+
+        A handle from before the clear used to stay marked alive, so a
+        later cancel() drove the live count negative and the queue
+        reported empty while holding real events.
+        """
+        q = EventQueue()
+        stale = q.push(Event(time=1.0))
+        q.clear()
+        q.cancel(stale)
+        assert len(q) == 0
+        q.push(Event(time=2.0, payload="real"))
+        assert len(q) == 1
+        assert bool(q)
+        assert q.pop().payload == "real"
+
+    def test_clear_marks_handles_dead(self):
+        q = EventQueue()
+        handles = [q.push(Event(time=float(i))) for i in range(5)]
+        q.clear()
+        assert all(not h.alive for h in handles)
+
+
+class TestCompaction:
+    def test_heavy_cancellation_compacts_storage(self):
+        q = EventQueue()
+        handles = [q.push(Event(time=float(i))) for i in range(300)]
+        for h in handles[:250]:
+            q.cancel(h)
+        # Dead entries outnumbered live ones, so the heap was rebuilt.
+        assert len(q._heap) < 300
+        assert len(q) == 50
+
+    def test_pop_order_survives_compaction(self):
+        q = EventQueue()
+        handles = [q.push(Event(time=float(i), payload=i)) for i in range(300)]
+        for i, h in enumerate(handles):
+            if i % 3 != 0:
+                q.cancel(h)
+        survivors = [q.pop().payload for _ in range(len(q))]
+        assert survivors == [i for i in range(300) if i % 3 == 0]
+
+    def test_explicit_compact_below_threshold(self):
+        q = EventQueue()
+        h1 = q.push(Event(time=1.0))
+        q.push(Event(time=2.0, payload="keep"))
+        q.cancel(h1)
+        q.compact()
+        assert len(q._heap) == 1
+        assert q.pop().payload == "keep"
+
+    def test_live_count_through_churn(self):
+        q = EventQueue()
+        handles = []
+        for round_no in range(50):
+            for h in handles:
+                q.cancel(h)
+            handles = [
+                q.push(Event(time=float(round_no + i))) for i in range(10)
+            ]
+        assert len(q) == 10
+        drained = [q.pop() for _ in range(10)]
+        assert len(drained) == 10
+        assert not q
+
 
 class TestProperties:
     @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=60))
