@@ -11,7 +11,7 @@ from _render import run_once
 
 from repro.config import SimulationConfig
 from repro.core.policy import FlowConPolicy
-from repro.experiments.multiworker import run_multi_worker
+from repro.experiments.runner import run_multi_worker
 from repro.experiments.report import render_header, render_table
 from repro.workloads.generator import WorkloadGenerator
 

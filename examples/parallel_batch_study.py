@@ -7,7 +7,7 @@ scenario spaces:
 1. a multi-seed FlowCon-vs-NA comparison fanned out over a process pool
    with :func:`repro.experiments.batch.run_many`;
 2. a cluster-size scaling study via
-   :func:`repro.experiments.multiworker.scaling_study`;
+   :func:`repro.experiments.runner.scaling_study`;
 3. the 50-job stress scenario (:func:`repro.experiments.scenarios
    .fifty_job`) exercising the vectorized settlement core.
 
@@ -21,7 +21,7 @@ from functools import partial
 
 from repro import FlowConConfig, FlowConPolicy, NAPolicy, SimulationConfig
 from repro.experiments.batch import default_workers, run_many
-from repro.experiments.multiworker import scaling_study
+from repro.experiments.runner import scaling_study
 from repro.experiments.report import render_header, render_table
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import fifty_job, random_ten_job

@@ -29,7 +29,14 @@ True
 """
 
 from repro.baselines import NAPolicy, SlaqLikePolicy, StaticPartitionPolicy
-from repro.cluster import ContentionModel, Manager, Worker
+from repro.cluster import (
+    PLACEMENTS,
+    ContentionModel,
+    Manager,
+    PlacementPolicy,
+    Worker,
+    make_placement,
+)
 from repro.config import FlowConConfig, SimulationConfig
 from repro.containers import AllocationMode, ContainerRuntime
 from repro.core import Executor, FlowConPolicy, SchedulingPolicy
@@ -37,10 +44,13 @@ from repro.errors import ReproError
 from repro.experiments import (
     RunResult,
     fixed_three_job,
+    heterogeneous_cluster,
     random_fifteen_job,
     random_five_job,
     random_ten_job,
+    run_cluster,
     run_scenario,
+    two_hundred_job,
 )
 from repro.metrics import MetricsRecorder, RunSummary, StepSeries
 from repro.simcore import Simulator
@@ -59,6 +69,8 @@ __all__ = [
     "Manager",
     "MetricsRecorder",
     "NAPolicy",
+    "PLACEMENTS",
+    "PlacementPolicy",
     "ReproError",
     "RunResult",
     "RunSummary",
@@ -73,9 +85,13 @@ __all__ = [
     "WorkloadGenerator",
     "__version__",
     "fixed_three_job",
+    "heterogeneous_cluster",
     "make_job",
+    "make_placement",
     "random_fifteen_job",
     "random_five_job",
     "random_ten_job",
+    "run_cluster",
     "run_scenario",
+    "two_hundred_job",
 ]

@@ -67,6 +67,8 @@ def seed_study(
     flowcon: FlowConConfig | None = None,
     sim_template: SimulationConfig | None = None,
     workers: int = 1,
+    n_workers: int = 1,
+    placement: str = "spread",
 ) -> SeedStudyResult:
     """Run ``FlowCon vs NA`` over many seeds of one scenario family.
 
@@ -85,6 +87,9 @@ def seed_study(
         Process count for the batch runner; the 2×len(seeds) runs are
         independent, so the study scales across processes with
         identical aggregates.
+    n_workers / placement:
+        Simulated cluster shape shared by every run (both the NA and
+        FlowCon arms), forwarded to the unified runner.
     """
     if seeds is None:
         seeds = list(range(10))
@@ -105,7 +110,13 @@ def seed_study(
         factories.extend([NAPolicy, partial(FlowConPolicy, fc_cfg)])
         run_seeds.extend([seed, seed])
     records = run_many(
-        specs_list, factories, template, workers=workers, seeds=run_seeds
+        specs_list,
+        factories,
+        template,
+        workers=workers,
+        seeds=run_seeds,
+        n_workers=n_workers,
+        placement=placement,
     )
 
     win_rates, makespans, bests, worsts = [], [], [], []

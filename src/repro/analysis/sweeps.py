@@ -66,6 +66,8 @@ def sweep_grid(
     sim_config: SimulationConfig | None = None,
     base_config: FlowConConfig | None = None,
     workers: int = 1,
+    n_workers: int = 1,
+    placement: str = "spread",
 ) -> SweepGrid:
     """Run FlowCon over an (α × itval) grid against one shared NA run.
 
@@ -84,6 +86,9 @@ def sweep_grid(
         Process count for the batch runner; cells (and the NA reference)
         are independent runs, so ``workers=N`` executes the grid N-wide
         with identical results.
+    n_workers / placement:
+        Simulated cluster shape shared by every cell (and the NA
+        reference), forwarded to the unified runner.
     """
     if not alphas or not itvals:
         raise ExperimentError("sweep needs non-empty alpha and itval axes")
@@ -104,6 +109,8 @@ def sweep_grid(
         cfg,
         workers=workers,
         labels=["NA"] + [fc_cfg.describe() for fc_cfg in grid_cfgs],
+        n_workers=n_workers,
+        placement=placement,
     )
     na_summary = records[0].summary()
     cells = [

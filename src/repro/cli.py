@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 
 import numpy as np
 
 from repro.analysis.compare import compare_runs
 from repro.analysis.sweeps import sweep_grid
 from repro.baselines.na import NAPolicy
+from repro.cluster.placement import PLACEMENTS
 from repro.config import FlowConConfig, SimulationConfig
 from repro.core.policy import FlowConPolicy
 from repro.errors import ExperimentError
@@ -35,7 +37,7 @@ from repro.experiments.report import (
     render_sparkline,
     render_table,
 )
-from repro.experiments.runner import run_scenario
+from repro.experiments.runner import run_cluster
 from repro.experiments.scenarios import fixed_three_job
 from repro.workloads.generator import WorkloadGenerator
 
@@ -194,12 +196,18 @@ def _cmd_compare(args) -> int:
         specs = gen.random_mix(args.jobs)
     sim_cfg = SimulationConfig(seed=args.seed, trace=False)
     fc_cfg = FlowConConfig(alpha=args.alpha, itval=args.itval)
-    na = run_scenario(specs, NAPolicy(), sim_cfg)
-    fc = run_scenario(specs, FlowConPolicy(fc_cfg), sim_cfg)
+    cluster = dict(n_workers=args.workers, placement=args.placement)
+    na = run_cluster(specs, NAPolicy, sim_cfg, **cluster)
+    fc = run_cluster(specs, partial(FlowConPolicy, fc_cfg), sim_cfg, **cluster)
     report = compare_runs(na.summary, fc.summary,
                           treatment_name=fc_cfg.describe())
+    where = (
+        f"{args.workers} workers ({args.placement})"
+        if args.workers > 1
+        else f"seed {args.seed}"
+    )
     print(render_header(
-        f"{fc_cfg.describe()} vs NA on {args.jobs} jobs (seed {args.seed})"
+        f"{fc_cfg.describe()} vs NA on {args.jobs} jobs ({where})"
     ))
     rows = [
         [label, na.completion_times()[label], fc.completion_times()[label],
@@ -222,8 +230,15 @@ def _cmd_sweep(args) -> int:
         alphas=args.alphas,
         itvals=args.itvals,
         sim_config=SimulationConfig(seed=args.seed, trace=False),
+        n_workers=args.workers,
+        placement=args.placement,
     )
-    print(render_header("FlowCon (alpha x itval) sweep — fixed 3-job"))
+    suffix = (
+        f" — {args.workers} workers ({args.placement})"
+        if args.workers > 1
+        else ""
+    )
+    print(render_header(f"FlowCon (alpha x itval) sweep — fixed 3-job{suffix}"))
     rows = []
     for alpha in args.alphas:
         row = [f"α={alpha:.0%}"]
@@ -262,6 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--alpha", type=float, default=0.10)
     p_cmp.add_argument("--itval", type=float, default=20.0)
     p_cmp.add_argument("--seed", type=int, default=42)
+    p_cmp.add_argument("--workers", type=int, default=1,
+                       help="simulated cluster size")
+    p_cmp.add_argument("--placement", choices=sorted(PLACEMENTS),
+                       default="spread", help="container placement policy")
 
     p_sweep = sub.add_parser("sweep", help="alpha x itval grid")
     p_sweep.add_argument("--alphas", type=float, nargs="+",
@@ -269,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--itvals", type=float, nargs="+",
                          default=[20.0, 40.0])
     p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="simulated cluster size")
+    p_sweep.add_argument("--placement", choices=sorted(PLACEMENTS),
+                         default="spread", help="container placement policy")
 
     sub.add_parser(
         "validate",

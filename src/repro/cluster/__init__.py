@@ -12,7 +12,12 @@ Key classes
     Owns the container runtime, integrates job progress analytically over
     intervals of constant allocation, schedules exit events.
 :class:`~repro.cluster.manager.Manager`
-    Schedules submissions as simulation events and places containers.
+    Schedules submissions as simulation events, applies capacity-aware
+    admission (FIFO queue under pressure) and places containers through
+    a pluggable :class:`~repro.cluster.placement.PlacementPolicy`.
+:mod:`~repro.cluster.placement`
+    Placement policies: spread (default), binpack, seeded random and
+    framework/model affinity.
 :class:`~repro.cluster.pool.ContainerPool`
     Arrival/finish journal the worker-monitor listeners poll.
 :class:`~repro.cluster.contention.ContentionModel`
@@ -22,16 +27,32 @@ Key classes
 
 from repro.cluster.contention import ContentionModel
 from repro.cluster.manager import Manager, Placement
+from repro.cluster.placement import (
+    PLACEMENTS,
+    AffinityPlacement,
+    BinPackPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    SpreadPlacement,
+    make_placement,
+)
 from repro.cluster.pool import ContainerPool, PoolDelta
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 
 __all__ = [
+    "AffinityPlacement",
+    "BinPackPlacement",
     "ContainerPool",
     "ContentionModel",
     "JobSubmission",
     "Manager",
+    "PLACEMENTS",
     "Placement",
+    "PlacementPolicy",
     "PoolDelta",
+    "RandomPlacement",
+    "SpreadPlacement",
     "Worker",
+    "make_placement",
 ]

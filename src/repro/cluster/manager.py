@@ -1,17 +1,35 @@
-"""The cluster manager.
+"""The cluster manager: placement and capacity-aware admission.
 
 §3.1: "Managers accept specifications from the user and are responsible
 for reconciling the desired state with the actual cluster state"; they
 interact only with workers' container pools.  Our manager therefore does
-two things: turn submissions into :class:`~repro.simcore.events.Event`\\ s,
-and pick a worker per arriving job (least-loaded placement — Swarm's
-default spread strategy).  All elastic-resource logic stays worker-side.
+three things: turn submissions into
+:class:`~repro.simcore.events.Event`\\ s, pick a worker per arriving job
+through a pluggable :class:`~repro.cluster.placement.PlacementPolicy`
+(default: Swarm's least-loaded spread), and apply admission control.
+All elastic-resource logic stays worker-side.
+
+Admission queue
+---------------
+Workers may advertise a bounded number of admission slots
+(``Worker(max_containers=...)``).  An arrival that finds no worker with
+headroom joins a FIFO pending queue instead of over-subscribing a node;
+every container exit triggers a drain pass that places queued jobs
+strictly in FIFO order — the head of the queue never yields its slot to
+a younger submission.  Per-job queueing delay (placement time minus
+submit time) is recorded on the :class:`Placement` and surfaced through
+:class:`~repro.metrics.summary.RunSummary`; :attr:`Manager.peak_queue_len`
+tracks the worst backlog of the run.  With unbounded workers (the
+default, and the paper's single-node setup) the queue is never used and
+behaviour is bit-identical to the historical pass-through manager.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
+from repro.cluster.placement import PlacementPolicy, make_placement
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 from repro.errors import ClusterError
@@ -23,18 +41,42 @@ __all__ = ["Placement", "Manager"]
 
 @dataclass(frozen=True)
 class Placement:
-    """Record of one job's placement."""
+    """Record of one job's placement.
+
+    ``queue_delay`` is how long the job waited in the admission queue
+    (``placed_time - submit_time``); 0.0 for jobs placed on arrival.
+    """
 
     label: str
     worker_name: str
     cid: int
     submit_time: float
+    placed_time: float = 0.0
+    queue_delay: float = 0.0
 
 
 class Manager:
-    """Accepts submissions and places containers on workers."""
+    """Accepts submissions, queues them under pressure, places containers.
 
-    def __init__(self, sim: Simulator, workers: list[Worker]) -> None:
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    workers:
+        The cluster's workers (non-empty, unique names).
+    placement:
+        A :class:`~repro.cluster.placement.PlacementPolicy` instance or
+        registry name (``"spread"``, ``"binpack"``, ``"random"``,
+        ``"affinity"``); ``None`` means spread, the historical default.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workers: list[Worker],
+        *,
+        placement: PlacementPolicy | str | None = None,
+    ) -> None:
         if not workers:
             raise ClusterError("a manager needs at least one worker")
         names = [w.name for w in workers]
@@ -42,18 +84,30 @@ class Manager:
             raise ClusterError(f"duplicate worker names: {names}")
         self.sim = sim
         self.workers = list(workers)
+        self.placement = make_placement(placement)
+        self.placement.bind(sim)
         self.placements: dict[str, Placement] = {}
+        #: label → queueing delay, for jobs that actually waited (>0 s).
+        self.queue_delays: dict[str, float] = {}
+        self.peak_queue_len: int = 0
+        self._queue: deque[JobSubmission] = deque()
         self._labels: set[str] = set()
         self._pending: int = 0
+        for worker in self.workers:
+            worker.exit_hooks.append(self._on_worker_exit)
 
     # -- submission ---------------------------------------------------------------
 
     def submit(self, submission: JobSubmission) -> None:
-        """Queue *submission* for arrival at its submit time."""
+        """Queue *submission* for arrival at its submit time.
+
+        The label/pending bookkeeping mutates only after the simulator
+        accepts the event, so a scheduling failure (e.g. a submit time in
+        the past) leaves the manager's state untouched and the label
+        reusable.
+        """
         if submission.label in self._labels:
             raise ClusterError(f"duplicate job label {submission.label!r}")
-        self._labels.add(submission.label)
-        self._pending += 1
         self.sim.schedule(
             submission.submit_time,
             self._on_arrival,
@@ -61,48 +115,85 @@ class Manager:
             priority=PRIORITY_ARRIVAL,
             payload=submission,
         )
+        self._labels.add(submission.label)
+        self._pending += 1
 
     def submit_all(self, submissions: list[JobSubmission]) -> None:
         """Queue a whole schedule."""
         for sub in submissions:
             self.submit(sub)
 
-    # -- placement -----------------------------------------------------------------
+    # -- placement and admission ---------------------------------------------------
 
-    def _select_worker(self) -> Worker:
-        """Least-loaded (by running-container count, then load) spread."""
-        return min(
-            self.workers,
-            key=lambda w: (len(w.running_containers()), w.load(), w.name),
-        )
+    def _eligible_workers(self) -> list[Worker]:
+        return [w for w in self.workers if w.has_headroom()]
 
-    def _on_arrival(self, event: Event) -> None:
-        submission: JobSubmission = event.payload
-        worker = self._select_worker()
+    def _place(self, submission: JobSubmission, eligible: list[Worker]) -> None:
+        """Launch *submission* on a worker chosen by the placement policy."""
+        worker = self.placement.select(eligible, submission)
         container = worker.launch(
             submission.job,
             name=submission.label,
             image=submission.image,
         )
+        now = self.sim.now
+        delay = now - submission.submit_time
         self.placements[submission.label] = Placement(
             label=submission.label,
             worker_name=worker.name,
             cid=container.cid,
             submit_time=submission.submit_time,
+            placed_time=now,
+            queue_delay=delay,
         )
+        if delay > 0:
+            self.queue_delays[submission.label] = delay
         self._pending -= 1
         self.sim.trace(
             "manager.place",
-            f"placed {submission.label} on {worker.name}",
+            f"placed {submission.label} on {worker.name}"
+            + (f" after {delay:.1f}s queued" if delay > 0 else ""),
             cid=container.cid,
         )
+
+    def _on_arrival(self, event: Event) -> None:
+        submission: JobSubmission = event.payload
+        eligible = self._eligible_workers()
+        if not eligible:
+            self._queue.append(submission)
+            if len(self._queue) > self.peak_queue_len:
+                self.peak_queue_len = len(self._queue)
+            self.sim.trace(
+                "manager.queue",
+                f"queued {submission.label} "
+                f"(cluster full, depth {len(self._queue)})",
+            )
+            return
+        self._place(submission, eligible)
+
+    def _on_worker_exit(self, _container) -> None:
+        """Worker exit hook: drain the admission queue in FIFO order."""
+        while self._queue:
+            eligible = self._eligible_workers()
+            if not eligible:
+                return
+            self._place(self._queue.popleft(), eligible)
 
     # -- views ------------------------------------------------------------------------
 
     @property
     def pending(self) -> int:
-        """Submissions accepted but not yet arrived."""
+        """Submissions accepted but not yet placed (queued ones included)."""
         return self._pending
+
+    @property
+    def queue_len(self) -> int:
+        """Jobs currently waiting in the admission queue."""
+        return len(self._queue)
+
+    def queued_labels(self) -> list[str]:
+        """Labels waiting in the admission queue, FIFO order."""
+        return [sub.label for sub in self._queue]
 
     def placement_of(self, label: str) -> Placement:
         """Placement record for a job label."""

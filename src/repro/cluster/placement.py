@@ -1,0 +1,187 @@
+"""Pluggable container-placement policies for the cluster manager.
+
+§3.1 runs FlowCon *per worker* precisely so the manager can scale
+placement decisions across a cluster; which worker a job lands on is
+therefore an orthogonal, swappable decision.  A
+:class:`PlacementPolicy` picks one worker for each arriving (or
+queue-drained) submission from the set of workers that currently have
+admission headroom — capacity filtering itself stays in
+:class:`~repro.cluster.manager.Manager`, so every policy sees only
+*eligible* workers and cannot over-subscribe a node.
+
+All policies are deterministic under a fixed simulation seed:
+:class:`RandomPlacement` draws from a named stream of the simulator's
+:class:`~repro.simcore.rng.RngRegistry` (bound via :meth:`bind`), and the
+other policies break ties lexicographically by worker name.  Replaying a
+run with the same seed and workload reproduces every placement decision
+bit-for-bit.
+
+Policies hold per-run state (the RNG stream), so build a fresh instance
+per run — :func:`make_placement` resolves a registry name
+(``"spread"``, ``"binpack"``, ``"random"``, ``"affinity"``) into one,
+which is also what keeps batch tasks picklable: tasks carry the *name*,
+each worker process materializes the policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ClusterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (worker ← manager)
+    from repro.cluster.submission import JobSubmission
+    from repro.cluster.worker import Worker
+    from repro.simcore.engine import Simulator
+
+__all__ = [
+    "PlacementPolicy",
+    "SpreadPlacement",
+    "BinPackPlacement",
+    "RandomPlacement",
+    "AffinityPlacement",
+    "PLACEMENTS",
+    "make_placement",
+]
+
+
+class PlacementPolicy(abc.ABC):
+    """Picks a worker for each arriving submission.
+
+    The manager calls :meth:`bind` once at construction (giving seeded
+    policies access to the run's RNG registry) and :meth:`select` once
+    per placement with the non-empty list of workers that have admission
+    headroom.
+    """
+
+    #: Registry/display name ("spread", "binpack", ...).
+    name: str = "placement"
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach to a run's simulator (RNG streams, tracing)."""
+
+    @abc.abstractmethod
+    def select(
+        self, workers: Sequence["Worker"], submission: "JobSubmission"
+    ) -> "Worker":
+        """Choose one of *workers* (non-empty, all with headroom)."""
+
+    def describe(self) -> str:
+        """Human-readable parameterization."""
+        return self.name
+
+
+def _spread_key(worker: "Worker") -> tuple:
+    return (len(worker.running_containers()), worker.load(), worker.name)
+
+
+class SpreadPlacement(PlacementPolicy):
+    """Least-loaded spread — Swarm's default, the historical behaviour.
+
+    Exactly the old ``Manager._select_worker``: fewest running
+    containers, then lowest summed allocation, then worker name.
+    """
+
+    name = "spread"
+
+    def select(
+        self, workers: Sequence["Worker"], submission: "JobSubmission"
+    ) -> "Worker":
+        return min(workers, key=_spread_key)
+
+
+class BinPackPlacement(PlacementPolicy):
+    """Most-loaded-first consolidation (Swarm's ``binpack`` strategy).
+
+    Fills the busiest eligible worker before spilling onto idle ones,
+    keeping nodes free for large future arrivals at the cost of more
+    interference on the packed node.
+    """
+
+    name = "binpack"
+
+    def select(
+        self, workers: Sequence["Worker"], submission: "JobSubmission"
+    ) -> "Worker":
+        return min(
+            workers,
+            key=lambda w: (-len(w.running_containers()), -w.load(), w.name),
+        )
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random placement from a seeded stream.
+
+    Draws from the simulator's ``"manager.placement"`` RNG stream, so
+    runs with the same root seed place identically.
+    """
+
+    name = "random"
+
+    def __init__(self) -> None:
+        self._rng = None
+
+    def bind(self, sim: "Simulator") -> None:
+        self._rng = sim.rngs.stream("manager.placement")
+
+    def select(
+        self, workers: Sequence["Worker"], submission: "JobSubmission"
+    ) -> "Worker":
+        if self._rng is None:
+            raise ClusterError(
+                "RandomPlacement must be bound to a simulator before use"
+            )
+        return workers[int(self._rng.integers(len(workers)))]
+
+
+class AffinityPlacement(PlacementPolicy):
+    """Framework/model affinity: co-locate jobs of the same image.
+
+    Workers already running a container with the submission's image
+    (image encodes framework + model, e.g. ``"repro/mnist:tensorflow"``)
+    are preferred — modelling image-cache and framework-runtime reuse —
+    with least-loaded spread among them; submissions with no affine
+    worker fall back to plain spread.
+    """
+
+    name = "affinity"
+
+    def select(
+        self, workers: Sequence["Worker"], submission: "JobSubmission"
+    ) -> "Worker":
+        affine = [
+            w
+            for w in workers
+            if any(
+                c.image == submission.image for c in w.running_containers()
+            )
+        ]
+        return min(affine or workers, key=_spread_key)
+
+
+#: Registry of placement policies by name, for CLI flags and batch tasks.
+PLACEMENTS: dict[str, type[PlacementPolicy]] = {
+    "spread": SpreadPlacement,
+    "binpack": BinPackPlacement,
+    "random": RandomPlacement,
+    "affinity": AffinityPlacement,
+}
+
+
+def make_placement(placement: str | PlacementPolicy | None) -> PlacementPolicy:
+    """Resolve a policy name (or pass through an instance) to a policy.
+
+    ``None`` means the historical default, :class:`SpreadPlacement`.
+    """
+    if placement is None:
+        return SpreadPlacement()
+    if isinstance(placement, PlacementPolicy):
+        return placement
+    try:
+        cls = PLACEMENTS[placement]
+    except (KeyError, TypeError):
+        raise ClusterError(
+            f"unknown placement {placement!r}; choose from {sorted(PLACEMENTS)}"
+        ) from None
+    return cls()

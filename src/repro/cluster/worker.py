@@ -74,6 +74,12 @@ class Worker:
         preserves exact replay parity; a small positive value (e.g.
         ``1e-6``) further reduces event-queue churn for reschedule-heavy
         workloads at the cost of up-to-tolerance completion-time drift.
+    max_containers:
+        Admission slots: the maximum number of concurrently running
+        containers this worker accepts.  ``None`` (default, the
+        historical behaviour) is unbounded.  :meth:`launch` enforces the
+        bound; the manager consults :meth:`has_headroom` and queues
+        arrivals instead of over-subscribing.
     """
 
     def __init__(
@@ -85,12 +91,17 @@ class Worker:
         contention: ContentionModel | None = None,
         allocation_mode: AllocationMode = AllocationMode.SOFT,
         reschedule_tolerance: float = 0.0,
+        max_containers: int | None = None,
     ) -> None:
         if capacity <= 0:
             raise CapacityError(f"capacity must be positive, got {capacity!r}")
         if reschedule_tolerance < 0:
             raise CapacityError(
                 f"reschedule_tolerance must be >= 0, got {reschedule_tolerance!r}"
+            )
+        if max_containers is not None and max_containers < 1:
+            raise CapacityError(
+                f"max_containers must be >= 1 or None, got {max_containers!r}"
             )
         self.sim = sim
         self.name = name
@@ -100,6 +111,7 @@ class Worker:
         self.runtime = ContainerRuntime(clock=lambda: sim.now)
         self.pool = ContainerPool()
         self.reschedule_tolerance = float(reschedule_tolerance)
+        self.max_containers = max_containers
         self._rng = sim.rngs.stream(f"{name}.jitter")
 
         self._last_settle = sim.now
@@ -130,6 +142,11 @@ class Worker:
         The container name defaults to the job's own name, so traces and
         summaries line up with workload labels without extra plumbing.
         """
+        if not self.has_headroom():
+            raise CapacityError(
+                f"{self.name} is at its admission limit "
+                f"({self.max_containers} containers)"
+            )
         self.settle()
         if name is None:
             name = getattr(job, "name", None)
@@ -375,6 +392,13 @@ class Worker:
     def running_containers(self) -> list[Container]:
         """Live containers in cid order."""
         return self.runtime.running()
+
+    def has_headroom(self) -> bool:
+        """Whether an admission slot is free (always true when unbounded)."""
+        return (
+            self.max_containers is None
+            or len(self.runtime.running()) < self.max_containers
+        )
 
     def allocations(self) -> dict[int, float]:
         """Current CPU allocation per running container id."""

@@ -136,6 +136,17 @@ class SimulationConfig:
         all jobs complete.
     trace:
         Keep a structured trace (disable for large sweeps).
+    reschedule_tolerance:
+        Worker exit-reschedule tolerance in seconds (see
+        :class:`~repro.cluster.worker.Worker`).  The default ``0.0``
+        preserves exact replay parity; a small positive value trades
+        up-to-tolerance completion-time drift for less event-queue churn
+        on reschedule-heavy workloads.
+    max_containers:
+        Default per-worker admission slots for runner-constructed
+        workers.  ``None`` (historical behaviour) is unbounded; a bound
+        makes the manager queue open arrivals instead of
+        over-subscribing nodes.
     """
 
     seed: int = 0
@@ -145,6 +156,8 @@ class SimulationConfig:
     sample_interval: float = 5.0
     horizon: float | None = None
     trace: bool = True
+    reschedule_tolerance: float = 0.0
+    max_containers: int | None = None
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -153,6 +166,16 @@ class SimulationConfig:
             raise ConfigError("sample_interval must be positive")
         if self.horizon is not None and self.horizon <= 0:
             raise ConfigError("horizon must be positive or None")
+        if self.reschedule_tolerance < 0:
+            raise ConfigError(
+                f"reschedule_tolerance must be >= 0, "
+                f"got {self.reschedule_tolerance!r}"
+            )
+        if self.max_containers is not None and self.max_containers < 1:
+            raise ConfigError(
+                f"max_containers must be >= 1 or None, "
+                f"got {self.max_containers!r}"
+            )
 
     def with_params(self, **kwargs) -> "SimulationConfig":
         """Functional update."""

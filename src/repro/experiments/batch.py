@@ -66,9 +66,17 @@ class RunTask:
     sim_config:
         Substrate parameters *including the seed* for this run.
     n_workers:
-        Simulated cluster size; 1 uses the single-worker
-        :func:`~repro.experiments.runner.run_scenario` path, larger
-        values use :func:`~repro.experiments.multiworker.run_multi_worker`.
+        Simulated cluster size for the unified
+        :func:`~repro.experiments.runner.run_cluster` runner.
+    placement:
+        Placement-policy registry name (see
+        :mod:`repro.cluster.placement`); carried by name so tasks stay
+        picklable across the process pool.
+    capacities:
+        Optional per-worker CPU capacities (heterogeneous clusters).
+    max_containers:
+        Optional per-worker admission-slot bound (scalar applies to all
+        workers); ``None`` defers to ``sim_config.max_containers``.
     label:
         Free-form tag carried through to the record (grid coordinates,
         scenario name, ...).
@@ -79,12 +87,19 @@ class RunTask:
     policy_factory: PolicyFactory
     sim_config: SimulationConfig
     n_workers: int = 1
+    placement: str = "spread"
+    capacities: tuple[float, ...] | None = None
+    max_containers: int | tuple[int | None, ...] | None = None
     label: str = ""
 
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Compact, pickle-friendly result of one batch run."""
+    """Compact, pickle-friendly result of one batch run.
+
+    ``queue_delays``/``peak_queue_len`` carry the manager's admission-
+    queue observations (empty/zero for unbounded clusters).
+    """
 
     index: int
     label: str
@@ -94,6 +109,8 @@ class RunRecord:
     completions: tuple[CompletionRecord, ...]
     events_processed: int
     wall_time: float
+    queue_delays: tuple[tuple[str, float], ...] = ()
+    peak_queue_len: int = 0
     makespan: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -105,7 +122,11 @@ class RunRecord:
 
     def summary(self) -> RunSummary:
         """Rebuild the full :class:`RunSummary` (all §5.2 metrics)."""
-        return RunSummary(completions=list(self.completions))
+        return RunSummary(
+            completions=list(self.completions),
+            queue_delays=dict(self.queue_delays),
+            peak_queue_len=self.peak_queue_len,
+        )
 
     def completion_times(self) -> dict[str, float]:
         """label → completion time."""
@@ -125,35 +146,30 @@ def _execute_task(task: RunTask) -> RunRecord:
     """Run one task to completion (top-level: used from worker processes)."""
     # Imported lazily to keep worker start-up (and the module import
     # graph) light; runner imports a large slice of the package.
-    from repro.experiments.multiworker import run_multi_worker
-    from repro.experiments.runner import run_scenario
+    from repro.experiments.runner import run_cluster
 
     t0 = time.perf_counter()
-    specs = list(task.specs)
-    if task.n_workers <= 1:
-        result = run_scenario(specs, task.policy_factory(), task.sim_config)
-        summary = result.summary
-        events = result.sim.events_processed
-        policy_name = result.policy_name
-    else:
-        mw = run_multi_worker(
-            specs,
-            task.policy_factory,
-            n_workers=task.n_workers,
-            sim_config=task.sim_config,
-        )
-        summary = mw.summary
-        events = mw.sim.events_processed
-        policy_name = next(iter(mw.policies.values())).name
+    result = run_cluster(
+        list(task.specs),
+        task.policy_factory,
+        task.sim_config,
+        n_workers=task.n_workers,
+        placement=task.placement,
+        capacities=task.capacities,
+        max_containers=task.max_containers,
+    )
+    summary = result.summary
     return RunRecord(
         index=task.index,
         label=task.label,
-        policy_name=policy_name,
+        policy_name=result.policy_name,
         seed=task.sim_config.seed,
         n_workers=task.n_workers,
         completions=tuple(summary.completions),
-        events_processed=events,
+        events_processed=result.sim.events_processed,
         wall_time=time.perf_counter() - t0,
+        queue_delays=tuple(sorted(summary.queue_delays.items())),
+        peak_queue_len=summary.peak_queue_len,
     )
 
 
@@ -211,6 +227,10 @@ def run_many(
     workers: int = 1,
     seeds: Sequence[int] | None = None,
     labels: Sequence[str] | None = None,
+    n_workers: int = 1,
+    placement: str = "spread",
+    capacities: Sequence[float] | None = None,
+    max_containers: int | None = None,
 ) -> list[RunRecord]:
     """Run many scenarios under a policy, serially or in parallel.
 
@@ -234,6 +254,10 @@ def run_many(
         run uses ``sim_config.seed`` — deterministic either way.
     labels:
         Optional per-run labels carried into the records.
+    n_workers / placement / capacities / max_containers:
+        Simulated-cluster shape shared by every run, forwarded to
+        :func:`~repro.experiments.runner.run_cluster` (placement by
+        registry name, to keep tasks picklable).
 
     Returns
     -------
@@ -267,6 +291,10 @@ def run_many(
             sim_config=(
                 cfg if seeds is None else cfg.with_params(seed=int(seeds[i]))
             ),
+            n_workers=n_workers,
+            placement=placement,
+            capacities=None if capacities is None else tuple(capacities),
+            max_containers=max_containers,
             label="" if labels is None else str(labels[i]),
         )
         for i in range(n)

@@ -1,62 +1,134 @@
-"""The policy-agnostic scenario runner.
+"""The unified cluster runner: one call = one simulation run.
 
-One call = one run: assemble a fresh simulator, worker, manager, metrics
-recorder and policy; submit the workload; run to completion; return a
-:class:`RunResult`.  FlowCon-vs-NA comparisons call this twice with the
-same workload specs and simulation config — identical substrate, identical
-seeds, only the policy differs.
+Every experiment in the repository — single-node paper reproductions,
+multi-worker scaling studies, open-arrival admission-queue stress runs —
+is one invocation of :func:`run_cluster`: assemble a fresh simulator, the
+workers (homogeneous or heterogeneous capacities, bounded or unbounded
+admission slots), a manager with a pluggable placement policy, one
+metrics recorder and one policy instance per worker; submit the
+workload; step until every job completes; return a :class:`RunResult`.
+
+``n_workers=1`` is the degenerate case and reproduces the historical
+single-worker runner bit-for-bit (asserted against a golden fixture in
+``tests/experiments/test_cluster_runner.py``).  :func:`run_scenario` and
+:func:`run_multi_worker` remain as thin wrappers, so FlowCon-vs-NA
+comparisons still read the same: call twice with the same workload specs
+and simulation config — identical substrate, identical seeds, only the
+policy differs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.cluster.manager import Manager
+from repro.cluster.placement import PlacementPolicy
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 from repro.config import SimulationConfig
 from repro.core.policy import SchedulingPolicy
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, MetricsError
 from repro.metrics.recorder import ContainerTrace, MetricsRecorder
 from repro.metrics.summary import RunSummary
 from repro.simcore.engine import Simulator
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.models import MODEL_ZOO
 
-__all__ = ["RunResult", "run_scenario"]
+__all__ = [
+    "RunResult",
+    "run_cluster",
+    "run_scenario",
+    "run_multi_worker",
+    "scaling_study",
+]
+
+#: A zero-argument builder of a fresh policy (one instance per worker).
+PolicyFactory = Callable[[], SchedulingPolicy]
 
 
 @dataclass
 class RunResult:
-    """Everything observed during one scenario run."""
+    """Everything observed during one cluster run.
+
+    One result type for every cluster size: per-worker policies and
+    recorders are keyed by worker name; the ``worker`` / ``recorder``
+    conveniences expose the first (single-node runs' only) worker.
+    """
 
     policy_name: str
     summary: RunSummary
-    recorder: MetricsRecorder
     sim: Simulator
-    worker: Worker
     manager: Manager
+    workers: list[Worker]
+    policies: dict[str, SchedulingPolicy]
+    recorders: dict[str, MetricsRecorder]
+
+    # -- single-node conveniences --------------------------------------------------
+
+    @property
+    def worker(self) -> Worker:
+        """The first worker (the only one of an ``n_workers=1`` run)."""
+        return self.workers[0]
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        """The first worker's recorder."""
+        return self.recorders[self.workers[0].name]
+
+    # -- cluster views -------------------------------------------------------------
+
+    @property
+    def per_worker(self) -> dict[str, list[str]]:
+        """Worker name → labels of the jobs it completed."""
+        return {
+            name: [c.label for c in recorder.completions]
+            for name, recorder in self.recorders.items()
+        }
 
     def trace(self, label: str) -> ContainerTrace:
-        """Shortcut to a job's recorded trace."""
-        return self.recorder.trace_by_label(label)
+        """A job's recorded trace, wherever in the cluster it ran."""
+        for recorder in self.recorders.values():
+            for trace in recorder.traces.values():
+                if trace.label == label:
+                    return trace
+        raise ExperimentError(f"no trace recorded for label {label!r}")
 
     def completion_times(self) -> dict[str, float]:
-        """label → completion time."""
+        """label → completion time across all workers."""
         return self.summary.completion_times()
 
     @property
     def makespan(self) -> float:
-        """Overall makespan of the run."""
+        """First submission to last completion, cluster-wide."""
         return self.summary.makespan
 
 
-def run_scenario(
+def _per_worker_values(name, value, n, default):
+    """Broadcast a scalar-or-sequence runner argument to ``n`` workers."""
+    if value is None:
+        return [default] * n
+    if isinstance(value, (int, float)):
+        return [value] * n
+    values = list(value)
+    if len(values) != n:
+        raise ExperimentError(
+            f"got {len(values)} {name} values for {n} workers"
+        )
+    return values
+
+
+def run_cluster(
     specs: list[WorkloadSpec],
-    policy: SchedulingPolicy,
+    policy: SchedulingPolicy | PolicyFactory,
     sim_config: SimulationConfig | None = None,
+    *,
+    n_workers: int = 1,
+    placement: PlacementPolicy | str | None = None,
+    capacities: Sequence[float] | None = None,
+    max_containers: int | Sequence[int | None] | None = None,
 ) -> RunResult:
-    """Run one workload under one policy to completion.
+    """Run one workload on an ``n_workers`` cluster to completion.
 
     Parameters
     ----------
@@ -64,10 +136,27 @@ def run_scenario(
         The workload (from :class:`~repro.workloads.generator
         .WorkloadGenerator` or the scenario builders).
     policy:
-        A fresh policy instance (policies hold per-run state; reusing one
-        across runs raises).
+        Either a fresh policy *instance* (single-worker runs only;
+        policies hold per-worker state) or a zero-argument factory
+        building one fresh policy per worker (e.g. ``NAPolicy`` or
+        ``partial(FlowConPolicy, cfg)``).
     sim_config:
         Substrate parameters; defaults to :class:`SimulationConfig()`.
+        ``capacity``, ``max_containers`` and ``reschedule_tolerance``
+        apply to every runner-constructed worker unless overridden by
+        the per-worker arguments below.
+    n_workers:
+        Cluster size (≥ 1); inferred from ``capacities`` when that is
+        given and ``n_workers`` is left at 1.
+    placement:
+        Placement policy instance or registry name (``"spread"``,
+        ``"binpack"``, ``"random"``, ``"affinity"``); default spread.
+    capacities:
+        Optional per-worker CPU capacities for heterogeneous clusters.
+    max_containers:
+        Optional per-worker admission slots: a scalar for all workers or
+        one value per worker; ``None`` falls back to
+        ``sim_config.max_containers``.
 
     Returns
     -------
@@ -80,59 +169,197 @@ def run_scenario(
         complete (a genuine bug signal, not a tunable).
     """
     if not specs:
-        raise ExperimentError("run_scenario needs at least one workload spec")
+        raise ExperimentError("run_cluster needs at least one workload spec")
     cfg = sim_config if sim_config is not None else SimulationConfig()
+    if capacities is not None and n_workers == 1:
+        n_workers = len(capacities)
+    if n_workers < 1:
+        raise ExperimentError(f"n_workers must be >= 1, got {n_workers!r}")
+    caps = _per_worker_values("capacity", capacities, n_workers, cfg.capacity)
+    slots = _per_worker_values(
+        "max_containers", max_containers, n_workers, cfg.max_containers
+    )
+
+    if isinstance(policy, SchedulingPolicy):
+        if n_workers > 1:
+            raise ExperimentError(
+                "multi-worker runs need a policy factory (one fresh policy "
+                f"per worker), got the instance {policy!r}"
+            )
+        instance = policy
+        policy_factory: PolicyFactory = lambda: instance  # noqa: E731
+    else:
+        policy_factory = policy
 
     sim = Simulator(seed=cfg.seed, trace=cfg.trace)
-    worker = Worker(
-        sim,
-        capacity=cfg.capacity,
-        contention=cfg.contention,
-        allocation_mode=cfg.allocation_mode,
-    )
-    manager = Manager(sim, [worker])
-    recorder = MetricsRecorder(worker, sample_interval=cfg.sample_interval)
-    recorder.start()
-    policy.attach(worker)
+    workers = [
+        Worker(
+            sim,
+            name=f"worker-{i}",
+            capacity=caps[i],
+            contention=cfg.contention,
+            allocation_mode=cfg.allocation_mode,
+            reschedule_tolerance=cfg.reschedule_tolerance,
+            max_containers=slots[i],
+        )
+        for i in range(n_workers)
+    ]
+    manager = Manager(sim, workers, placement=placement)
+    recorders: dict[str, MetricsRecorder] = {}
+    policies: dict[str, SchedulingPolicy] = {}
+    for worker in workers:
+        recorder = MetricsRecorder(worker, sample_interval=cfg.sample_interval)
+        recorder.start()
+        recorders[worker.name] = recorder
+        pol = policy_factory()
+        pol.attach(worker)
+        policies[worker.name] = pol
 
-    submissions = []
-    for spec in specs:
-        job = spec.build_job()
-        profile = MODEL_ZOO[spec.model_key]
-        submissions.append(
+    manager.submit_all(
+        [
             JobSubmission(
                 label=spec.label,
-                job=job,
+                job=spec.build_job(),
                 submit_time=spec.submit_time,
-                image=profile.image,
+                image=MODEL_ZOO[spec.model_key].image,
             )
-        )
-    manager.submit_all(submissions)
+            for spec in specs
+        ]
+    )
 
     expected = len(specs)
     # Step until every job completes; periodic recorder/scheduler events
     # would keep an unconditional run() alive forever.
-    while len(recorder.completions) < expected:
+    while sum(len(r.completions) for r in recorders.values()) < expected:
         if cfg.horizon is not None and sim.now >= cfg.horizon:
             break
         event = sim.step()
         if event is None:
+            done = sum(len(r.completions) for r in recorders.values())
             raise ExperimentError(
                 f"simulation stalled at t={sim.now:.1f}s with "
-                f"{len(recorder.completions)}/{expected} jobs complete"
+                f"{done}/{expected} jobs complete"
             )
 
-    recorder.stop()
-    policy.detach()
+    for recorder in recorders.values():
+        recorder.stop()
+    for pol in policies.values():
+        pol.detach()
 
-    if len(recorder.completions) < expected and cfg.horizon is None:
+    completions = [c for r in recorders.values() for c in r.completions]
+    if len(completions) < expected and cfg.horizon is None:
         raise ExperimentError("run ended with incomplete jobs")
+    if not completions:
+        raise MetricsError("no jobs completed within the horizon")
 
     return RunResult(
-        policy_name=policy.name,
-        summary=recorder.summary(),
-        recorder=recorder,
+        policy_name=next(iter(policies.values())).name,
+        summary=RunSummary(
+            completions=completions,
+            queue_delays=dict(manager.queue_delays),
+            peak_queue_len=manager.peak_queue_len,
+        ),
         sim=sim,
-        worker=worker,
         manager=manager,
+        workers=workers,
+        policies=policies,
+        recorders=recorders,
     )
+
+
+def run_scenario(
+    specs: list[WorkloadSpec],
+    policy: SchedulingPolicy,
+    sim_config: SimulationConfig | None = None,
+) -> RunResult:
+    """Run one workload under one policy on a single worker.
+
+    Thin wrapper over :func:`run_cluster` with ``n_workers=1`` — the
+    paper's single-node setup.  ``policy`` is a fresh instance (policies
+    hold per-run state; reusing one across runs raises).
+    """
+    return run_cluster(specs, policy, sim_config)
+
+
+def run_multi_worker(
+    specs: list[WorkloadSpec],
+    policy_factory: PolicyFactory,
+    *,
+    n_workers: int,
+    sim_config: SimulationConfig | None = None,
+    placement: PlacementPolicy | str | None = None,
+    capacities: Sequence[float] | None = None,
+    max_containers: int | Sequence[int | None] | None = None,
+) -> RunResult:
+    """Run one workload on an ``n_workers`` cluster.
+
+    Thin wrapper over :func:`run_cluster` requiring an explicit cluster
+    size and a policy factory (one fresh policy per worker).
+    """
+    return run_cluster(
+        specs,
+        policy_factory,
+        sim_config,
+        n_workers=n_workers,
+        placement=placement,
+        capacities=capacities,
+        max_containers=max_containers,
+    )
+
+
+def scaling_study(
+    specs: list[WorkloadSpec],
+    policy_factory: PolicyFactory,
+    cluster_sizes: list[int],
+    *,
+    sim_config: SimulationConfig | None = None,
+    placement: str = "spread",
+    workers: int = 1,
+):
+    """Run one workload across several cluster sizes, optionally in parallel.
+
+    The §3.1 scaling question — "how does makespan move as workers are
+    added?" — is one independent simulation per cluster size, so it runs
+    through the :mod:`~repro.experiments.batch` runner: ``workers=N``
+    executes the sizes N-wide with identical results.
+
+    Parameters
+    ----------
+    specs:
+        The workload, reused identically for every cluster size.
+    policy_factory:
+        Picklable zero-argument policy builder (fresh instance per
+        simulated worker).
+    cluster_sizes:
+        Simulated worker counts to evaluate (each ≥ 1).
+    sim_config:
+        Substrate parameters shared by every run.
+    placement:
+        Placement-policy registry name shared by every run.
+    workers:
+        *Host* process count for the batch runner (unrelated to the
+        simulated cluster sizes).
+
+    Returns
+    -------
+    list[repro.experiments.batch.RunRecord]
+        One record per cluster size, in ``cluster_sizes`` order.
+    """
+    from repro.experiments.batch import RunTask, run_tasks
+
+    if not cluster_sizes:
+        raise ExperimentError("scaling_study needs at least one cluster size")
+    cfg = sim_config if sim_config is not None else SimulationConfig(trace=False)
+    tasks = [
+        RunTask(
+            index=i,
+            specs=tuple(specs),
+            policy_factory=policy_factory,
+            sim_config=cfg,
+            n_workers=n,
+            placement=placement,
+            label=f"{n}-worker",
+        )
+        for i, n in enumerate(cluster_sizes)
+    ]
+    return run_tasks(tasks, workers=workers)

@@ -1,12 +1,21 @@
-"""The paper's evaluation workloads (§5.2–§5.5).
+"""The paper's evaluation workloads (§5.2–§5.5) and cluster-scale extensions.
 
 Scenario builders return :class:`~repro.workloads.generator.WorkloadSpec`
 lists.  Random scenarios are seeded and reproducible; the *same* spec list
 is fed to each policy being compared, so job sizes and arrival times are
 identical across FlowCon/NA runs.
+
+Beyond the paper's single-node workloads, :func:`two_hundred_job` is a
+Poisson open-arrival stream sized for the admission-queue/placement layer
+(200 jobs against an 8-worker cluster), and :func:`heterogeneous_cluster`
+bundles a workload with a mixed big/small worker fleet as a
+:class:`ClusterScenario` ready for
+:func:`~repro.experiments.runner.run_cluster`.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,6 +28,9 @@ __all__ = [
     "random_ten_job",
     "random_fifteen_job",
     "fifty_job",
+    "two_hundred_job",
+    "ClusterScenario",
+    "heterogeneous_cluster",
 ]
 
 
@@ -72,3 +84,62 @@ def fifty_job(
     """
     gen = WorkloadGenerator(_rng(seed, "random50"))
     return gen.random_mix(50, window=window)
+
+
+def two_hundred_job(
+    seed: int = 42, *, n_jobs: int = 200, mean_gap: float = 3.0
+) -> list[WorkloadSpec]:
+    """Cluster-scale open-arrival stream: 200 jobs, Poisson arrivals.
+
+    The workload the scheduling layer exists for: arrivals follow a
+    Poisson process (Exp(``mean_gap``) inter-arrival gaps, default mean
+    3 s ⇒ ~10 min of sustained load), so an 8-worker cluster with
+    bounded admission slots sees real queueing — bursts outrun capacity
+    and the manager's FIFO queue absorbs them.  Pair with
+    ``trace=False`` configs and
+    :func:`~repro.experiments.runner.run_cluster`'s ``max_containers``.
+    """
+    gen = WorkloadGenerator(_rng(seed, "poisson200"))
+    return gen.poisson_mix(n_jobs, mean_gap=mean_gap)
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """A workload bundled with the cluster shape it is meant to stress.
+
+    Feed directly to :func:`~repro.experiments.runner.run_cluster`::
+
+        sc = heterogeneous_cluster(seed=7)
+        result = run_cluster(list(sc.specs), NAPolicy,
+                             capacities=sc.capacities,
+                             max_containers=sc.max_containers)
+    """
+
+    specs: tuple[WorkloadSpec, ...]
+    capacities: tuple[float, ...]
+    max_containers: tuple[int, ...]
+
+    @property
+    def n_workers(self) -> int:
+        """Cluster size implied by the capacity list."""
+        return len(self.capacities)
+
+
+def heterogeneous_cluster(
+    seed: int = 42, *, n_jobs: int = 60
+) -> ClusterScenario:
+    """Mixed-fleet scenario: 4 big + 4 small workers, open arrivals.
+
+    Big workers have twice the CPU capacity and twice the admission
+    slots of small ones — the shape real clusters drift into after a
+    hardware refresh.  Placement policy choice matters here (spread
+    treats unequal nodes alike; binpack saturates the big nodes first),
+    which is what the scenario exists to expose.
+    """
+    gen = WorkloadGenerator(_rng(seed, "hetero"))
+    specs = gen.poisson_mix(n_jobs, mean_gap=6.0)
+    return ClusterScenario(
+        specs=tuple(specs),
+        capacities=(1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5),
+        max_containers=(4, 4, 4, 4, 2, 2, 2, 2),
+    )

@@ -16,7 +16,7 @@ Plus the derived quantities quoted in the text: pairwise job *overlap*
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -46,9 +46,18 @@ class CompletionRecord:
 
 @dataclass
 class RunSummary:
-    """Completion metrics for one policy × workload run."""
+    """Completion metrics for one policy × workload run.
+
+    ``queue_delays`` and ``peak_queue_len`` describe the manager's
+    admission queue: seconds spent waiting for an admission slot, for
+    the labels that actually queued, and the worst backlog of the run.
+    Both are empty/zero for unbounded clusters (the paper's single-node
+    setup).
+    """
 
     completions: list[CompletionRecord]
+    queue_delays: dict[str, float] = field(default_factory=dict)
+    peak_queue_len: int = 0
 
     def __post_init__(self) -> None:
         if not self.completions:
@@ -80,6 +89,20 @@ class RunSummary:
     def labels(self) -> list[str]:
         """Job labels in submission order."""
         return [c.label for c in sorted(self.completions, key=lambda c: c.submitted)]
+
+    # -- admission queue ----------------------------------------------------------
+
+    def queue_delay(self, label: str) -> float:
+        """Seconds *label* spent in the admission queue (0.0 if never queued)."""
+        return self.queue_delays.get(label, 0.0)
+
+    def total_queue_delay(self) -> float:
+        """Sum of all jobs' admission-queue delays."""
+        return float(sum(self.queue_delays.values()))
+
+    def max_queue_delay(self) -> float:
+        """Largest single admission-queue delay."""
+        return max(self.queue_delays.values(), default=0.0)
 
     # -- derived ---------------------------------------------------------------------
 

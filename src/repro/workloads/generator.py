@@ -132,14 +132,8 @@ class WorkloadGenerator:
             ]
         )
 
-    def random_mix(
-        self,
-        n_jobs: int,
-        *,
-        window: tuple[float, float] = (0.0, 200.0),
-        pool: list[str] | None = None,
-    ) -> list[WorkloadSpec]:
-        """§5.5's scalability mixes: *n_jobs* drawn with replacement."""
+    def _draw_keys(self, n_jobs: int, pool: list[str] | None) -> list[str]:
+        """Draw *n_jobs* model keys with replacement from *pool*."""
         if n_jobs <= 0:
             raise WorkloadError(f"n_jobs must be positive, got {n_jobs!r}")
         if pool is None:
@@ -149,5 +143,43 @@ class WorkloadGenerator:
         for key in pool:
             if key not in MODEL_ZOO:
                 raise WorkloadError(f"unknown model key {key!r}")
-        keys = [pool[int(i)] for i in self._rng.integers(0, len(pool), n_jobs)]
-        return self.random(keys, window=window)
+        return [pool[int(i)] for i in self._rng.integers(0, len(pool), n_jobs)]
+
+    def random_mix(
+        self,
+        n_jobs: int,
+        *,
+        window: tuple[float, float] = (0.0, 200.0),
+        pool: list[str] | None = None,
+    ) -> list[WorkloadSpec]:
+        """§5.5's scalability mixes: *n_jobs* drawn with replacement."""
+        return self.random(self._draw_keys(n_jobs, pool), window=window)
+
+    def poisson_mix(
+        self,
+        n_jobs: int,
+        *,
+        mean_gap: float = 3.0,
+        start: float = 0.0,
+        pool: list[str] | None = None,
+    ) -> list[WorkloadSpec]:
+        """Open-arrival stream: *n_jobs* with Exp(``mean_gap``) gaps.
+
+        Models a cluster front door rather than a closed batch: arrival
+        times are the cumulative sum of exponential inter-arrival gaps
+        (a Poisson process of rate ``1/mean_gap``), so bursts and lulls
+        both occur.  Models are drawn with replacement from *pool*
+        (model draw first, then gaps — a fixed draw order keeps the
+        stream reproducible as parameters change).  Labels are
+        ``Job-1`` … ``Job-n`` in arrival order.
+        """
+        if mean_gap <= 0:
+            raise WorkloadError(f"mean_gap must be positive, got {mean_gap!r}")
+        if start < 0:
+            raise WorkloadError(f"negative start time {start!r}")
+        keys = self._draw_keys(n_jobs, pool)
+        times = start + np.cumsum(self._rng.exponential(mean_gap, size=n_jobs))
+        return [
+            WorkloadSpec(key, float(t), f"Job-{i}")
+            for i, (key, t) in enumerate(zip(keys, times), start=1)
+        ]

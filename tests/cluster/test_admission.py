@@ -1,0 +1,144 @@
+"""Unit tests for the manager's capacity-aware admission queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.manager import Manager
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.errors import CapacityError, ClusterError
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+
+def _submission(label, t, work=50.0):
+    return JobSubmission(
+        label=label, job=make_linear_job(label, work), submit_time=t
+    )
+
+
+def _bounded_cluster(n=1, slots=1, seed=0):
+    sim = Simulator(seed=seed, trace=False)
+    workers = [
+        Worker(
+            sim,
+            name=f"w{i}",
+            contention=ContentionModel.ideal(),
+            max_containers=slots,
+        )
+        for i in range(n)
+    ]
+    return sim, workers, Manager(sim, workers)
+
+
+class TestWorkerAdmission:
+    def test_launch_beyond_slots_raises(self, sim):
+        worker = Worker(
+            sim, contention=ContentionModel.ideal(), max_containers=1
+        )
+        worker.launch(make_linear_job("a", 50.0))
+        assert not worker.has_headroom()
+        with pytest.raises(CapacityError):
+            worker.launch(make_linear_job("b", 50.0))
+
+    def test_unbounded_always_has_headroom(self, sim, ideal_worker):
+        for i in range(5):
+            ideal_worker.launch(make_linear_job(f"j{i}", 50.0))
+        assert ideal_worker.has_headroom()
+
+    def test_bad_max_containers_rejected(self, sim):
+        with pytest.raises(CapacityError):
+            Worker(sim, max_containers=0)
+
+
+class TestAdmissionQueue:
+    def test_no_over_capacity_launch(self):
+        sim, workers, manager = _bounded_cluster(n=2, slots=1)
+        manager.submit_all(
+            [_submission(f"Job-{i}", 0.0) for i in range(1, 6)]
+        )
+        sim.run(until=1.0)
+        assert all(len(w.running_containers()) <= 1 for w in workers)
+        assert manager.queue_len == 3
+        assert manager.peak_queue_len == 3
+
+    def test_fifo_order(self):
+        sim, _, manager = _bounded_cluster(n=1, slots=1)
+        # Job-1 runs ~50 s; Job-2..4 arrive while it runs and must be
+        # placed strictly in arrival order as slots free up.
+        manager.submit_all(
+            [
+                _submission("Job-1", 0.0),
+                _submission("Job-2", 1.0),
+                _submission("Job-3", 2.0),
+                _submission("Job-4", 3.0),
+            ]
+        )
+        sim.run(until=5.0)
+        assert manager.queued_labels() == ["Job-2", "Job-3", "Job-4"]
+        sim.run_until_empty()
+        placed = sorted(
+            manager.placements.values(), key=lambda p: p.placed_time
+        )
+        assert [p.label for p in placed] == [
+            "Job-1", "Job-2", "Job-3", "Job-4",
+        ]
+
+    def test_queue_fully_drained(self):
+        sim, _, manager = _bounded_cluster(n=2, slots=1)
+        manager.submit_all(
+            [_submission(f"Job-{i}", float(i)) for i in range(1, 8)]
+        )
+        sim.run_until_empty()
+        assert manager.queue_len == 0
+        assert manager.pending == 0
+        assert set(manager.placements) == {f"Job-{i}" for i in range(1, 8)}
+
+    def test_queue_delay_recorded(self):
+        sim, _, manager = _bounded_cluster(n=1, slots=1)
+        manager.submit_all(
+            [_submission("Job-1", 0.0), _submission("Job-2", 10.0)]
+        )
+        sim.run_until_empty()
+        assert manager.placement_of("Job-1").queue_delay == 0.0
+        p2 = manager.placement_of("Job-2")
+        # Job-1 finishes at ~50 s; Job-2 arrived at 10 s and waited.
+        assert p2.queue_delay == pytest.approx(p2.placed_time - 10.0)
+        assert p2.queue_delay > 30.0
+        assert manager.queue_delays["Job-2"] == p2.queue_delay
+
+    def test_unbounded_cluster_never_queues(self):
+        sim = Simulator(seed=0, trace=False)
+        worker = Worker(sim, contention=ContentionModel.ideal())
+        manager = Manager(sim, [worker])
+        manager.submit_all(
+            [_submission(f"Job-{i}", 0.0) for i in range(1, 10)]
+        )
+        sim.run(until=1.0)
+        assert manager.peak_queue_len == 0
+        assert manager.queue_delays == {}
+
+
+class TestSubmitStateLeak:
+    def test_failed_schedule_leaves_label_reusable(self):
+        sim = Simulator(seed=0, trace=False)
+        worker = Worker(sim, contention=ContentionModel.ideal())
+        manager = Manager(sim, [worker])
+        sim.run(until=20.0)
+        # Submitting in the past fails inside sim.schedule; the label
+        # and pending count must not be poisoned by the attempt.
+        with pytest.raises(Exception):
+            manager.submit(_submission("Job-1", 5.0))
+        assert manager.pending == 0
+        manager.submit(_submission("Job-1", 25.0))
+        assert manager.pending == 1
+        sim.run_until_empty()
+        assert manager.placement_of("Job-1").cid > 0
+
+    def test_duplicate_label_still_rejected(self):
+        sim, _, manager = _bounded_cluster()
+        manager.submit(_submission("Job-1", 0.0))
+        with pytest.raises(ClusterError):
+            manager.submit(_submission("Job-1", 5.0))

@@ -1,0 +1,164 @@
+"""Unit tests for the pluggable placement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.manager import Manager
+from repro.cluster.placement import (
+    PLACEMENTS,
+    AffinityPlacement,
+    BinPackPlacement,
+    RandomPlacement,
+    SpreadPlacement,
+    make_placement,
+)
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.errors import ClusterError
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+
+def _submission(label, t, work=200.0, image="repro/dl-job"):
+    return JobSubmission(
+        label=label,
+        job=make_linear_job(label, work),
+        submit_time=t,
+        image=image,
+    )
+
+
+def _cluster(n=3, seed=0, placement=None, max_containers=None):
+    sim = Simulator(seed=seed, trace=False)
+    workers = [
+        Worker(
+            sim,
+            name=f"w{i}",
+            contention=ContentionModel.ideal(),
+            max_containers=max_containers,
+        )
+        for i in range(n)
+    ]
+    return sim, workers, Manager(sim, workers, placement=placement)
+
+
+def _worker_of(manager, label):
+    return manager.placement_of(label).worker_name
+
+
+class TestRegistry:
+    def test_names_resolve(self):
+        for name, cls in PLACEMENTS.items():
+            policy = make_placement(name)
+            assert isinstance(policy, cls)
+            assert policy.name == name
+
+    def test_none_is_spread(self):
+        assert isinstance(make_placement(None), SpreadPlacement)
+
+    def test_instance_passes_through(self):
+        policy = BinPackPlacement()
+        assert make_placement(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ClusterError):
+            make_placement("zigzag")
+
+
+class TestSpread:
+    def test_round_robins_idle_cluster(self):
+        sim, _, manager = _cluster(n=3)
+        manager.submit_all([_submission(f"Job-{i}", 0.0) for i in range(1, 7)])
+        sim.run(until=1.0)
+        names = [_worker_of(manager, f"Job-{i}") for i in range(1, 7)]
+        assert sorted(names) == ["w0", "w0", "w1", "w1", "w2", "w2"]
+
+    def test_is_default(self):
+        _, _, manager = _cluster()
+        assert isinstance(manager.placement, SpreadPlacement)
+
+
+class TestBinPack:
+    def test_consolidates_onto_busiest(self):
+        sim, _, manager = _cluster(n=3, placement="binpack")
+        manager.submit_all([_submission(f"Job-{i}", 0.0) for i in range(1, 5)])
+        sim.run(until=1.0)
+        names = {_worker_of(manager, f"Job-{i}") for i in range(1, 5)}
+        assert names == {"w0"}
+
+    def test_spills_when_slots_fill(self):
+        sim, _, manager = _cluster(n=3, placement="binpack", max_containers=2)
+        manager.submit_all([_submission(f"Job-{i}", 0.0) for i in range(1, 5)])
+        sim.run(until=1.0)
+        names = [_worker_of(manager, f"Job-{i}") for i in range(1, 5)]
+        assert sorted(names) == ["w0", "w0", "w1", "w1"]
+
+
+class TestRandom:
+    def test_deterministic_under_fixed_seed(self):
+        def placements(seed):
+            sim, _, manager = _cluster(n=4, seed=seed, placement="random")
+            manager.submit_all(
+                [_submission(f"Job-{i}", 0.0) for i in range(1, 13)]
+            )
+            sim.run(until=1.0)
+            return [_worker_of(manager, f"Job-{i}") for i in range(1, 13)]
+
+        assert placements(3) == placements(3)
+
+    def test_seed_changes_decisions(self):
+        def placements(seed):
+            sim, _, manager = _cluster(n=4, seed=seed, placement="random")
+            manager.submit_all(
+                [_submission(f"Job-{i}", 0.0) for i in range(1, 13)]
+            )
+            sim.run(until=1.0)
+            return [_worker_of(manager, f"Job-{i}") for i in range(1, 13)]
+
+        assert placements(0) != placements(1)
+
+    def test_unbound_policy_rejected(self):
+        policy = RandomPlacement()
+        with pytest.raises(ClusterError):
+            policy.select([], _submission("Job-1", 0.0))
+
+
+class TestAffinity:
+    def test_colocates_same_image(self):
+        sim, _, manager = _cluster(n=3, placement="affinity")
+        manager.submit_all(
+            [
+                _submission("Job-1", 0.0, image="repro/mnist:tf"),
+                _submission("Job-2", 1.0, image="repro/vae:pt"),
+                _submission("Job-3", 2.0, image="repro/mnist:tf"),
+            ]
+        )
+        sim.run(until=5.0)
+        assert _worker_of(manager, "Job-3") == _worker_of(manager, "Job-1")
+        assert _worker_of(manager, "Job-2") != _worker_of(manager, "Job-1")
+
+    def test_falls_back_to_spread_without_affinity(self):
+        sim, _, manager = _cluster(n=2, placement="affinity")
+        manager.submit_all(
+            [
+                _submission("Job-1", 0.0, image="repro/a"),
+                _submission("Job-2", 1.0, image="repro/b"),
+            ]
+        )
+        sim.run(until=5.0)
+        assert _worker_of(manager, "Job-1") != _worker_of(manager, "Job-2")
+
+    def test_instance_selection(self):
+        # select() sees only eligible workers; affinity among them.
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            Worker(sim, name=f"w{i}", contention=ContentionModel.ideal())
+            for i in range(2)
+        ]
+        workers[1].launch(make_linear_job("other", 100.0), image="repro/x")
+        chosen = AffinityPlacement().select(
+            workers, _submission("Job-1", 0.0, image="repro/x")
+        )
+        assert chosen.name == "w1"

@@ -14,8 +14,7 @@ from repro.config import FlowConConfig, SimulationConfig
 from repro.core.policy import FlowConPolicy
 from repro.errors import ExperimentError
 from repro.experiments.batch import RunRecord, RunTask, run_many, run_tasks
-from repro.experiments.multiworker import run_multi_worker, scaling_study
-from repro.experiments.runner import run_scenario
+from repro.experiments.runner import run_multi_worker, run_scenario, scaling_study
 from repro.experiments.scenarios import fixed_three_job, random_five_job
 
 _CFG = SimulationConfig(trace=False)

@@ -9,7 +9,7 @@ from repro.baselines.na import NAPolicy
 from repro.config import SimulationConfig
 from repro.core.policy import FlowConPolicy
 from repro.errors import ExperimentError
-from repro.experiments.multiworker import run_multi_worker
+from repro.experiments.runner import run_multi_worker
 from repro.workloads.generator import WorkloadGenerator
 
 
