@@ -11,7 +11,7 @@ from _render import run_once
 
 from repro.config import SimulationConfig
 from repro.core.policy import FlowConPolicy
-from repro.experiments.runner import run_multi_worker
+from repro.experiments.runner import run_cluster
 from repro.experiments.report import render_header, render_table
 from repro.workloads.generator import WorkloadGenerator
 
@@ -21,11 +21,11 @@ def _run_all():
     specs = gen.random_mix(12, window=(0.0, 150.0))
     results = {}
     for n in (1, 2, 3):
-        results[n] = run_multi_worker(
+        results[n] = run_cluster(
             specs,
             FlowConPolicy,
+            SimulationConfig(seed=5, trace=False),
             n_workers=n,
-            sim_config=SimulationConfig(seed=5, trace=False),
         )
     return results
 

@@ -31,11 +31,14 @@ True
 from repro.baselines import NAPolicy, SlaqLikePolicy, StaticPartitionPolicy
 from repro.cluster import (
     PLACEMENTS,
+    REBALANCERS,
     ContentionModel,
     Manager,
     PlacementPolicy,
+    RebalancePolicy,
     Worker,
     make_placement,
+    make_rebalance,
 )
 from repro.config import FlowConConfig, SimulationConfig
 from repro.containers import AllocationMode, ContainerRuntime
@@ -45,6 +48,7 @@ from repro.experiments import (
     RunResult,
     fixed_three_job,
     heterogeneous_cluster,
+    imbalanced_cluster,
     random_fifteen_job,
     random_five_job,
     random_ten_job,
@@ -71,6 +75,8 @@ __all__ = [
     "NAPolicy",
     "PLACEMENTS",
     "PlacementPolicy",
+    "REBALANCERS",
+    "RebalancePolicy",
     "ReproError",
     "RunResult",
     "RunSummary",
@@ -86,8 +92,10 @@ __all__ = [
     "__version__",
     "fixed_three_job",
     "heterogeneous_cluster",
+    "imbalanced_cluster",
     "make_job",
     "make_placement",
+    "make_rebalance",
     "random_fifteen_job",
     "random_five_job",
     "random_ten_job",

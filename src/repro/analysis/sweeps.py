@@ -68,6 +68,7 @@ def sweep_grid(
     workers: int = 1,
     n_workers: int = 1,
     placement: str = "spread",
+    rebalance: str | None = None,
 ) -> SweepGrid:
     """Run FlowCon over an (α × itval) grid against one shared NA run.
 
@@ -86,7 +87,7 @@ def sweep_grid(
         Process count for the batch runner; cells (and the NA reference)
         are independent runs, so ``workers=N`` executes the grid N-wide
         with identical results.
-    n_workers / placement:
+    n_workers / placement / rebalance:
         Simulated cluster shape shared by every cell (and the NA
         reference), forwarded to the unified runner.
     """
@@ -111,6 +112,7 @@ def sweep_grid(
         labels=["NA"] + [fc_cfg.describe() for fc_cfg in grid_cfgs],
         n_workers=n_workers,
         placement=placement,
+        rebalance=rebalance,
     )
     na_summary = records[0].summary()
     cells = [

@@ -26,6 +26,7 @@ from repro.analysis.compare import compare_runs
 from repro.analysis.sweeps import sweep_grid
 from repro.baselines.na import NAPolicy
 from repro.cluster.placement import PLACEMENTS
+from repro.cluster.rebalance import REBALANCERS
 from repro.config import FlowConConfig, SimulationConfig
 from repro.core.policy import FlowConPolicy
 from repro.errors import ExperimentError
@@ -196,13 +197,18 @@ def _cmd_compare(args) -> int:
         specs = gen.random_mix(args.jobs)
     sim_cfg = SimulationConfig(seed=args.seed, trace=False)
     fc_cfg = FlowConConfig(alpha=args.alpha, itval=args.itval)
-    cluster = dict(n_workers=args.workers, placement=args.placement)
+    cluster = dict(
+        n_workers=args.workers,
+        placement=args.placement,
+        rebalance=args.rebalance,
+    )
     na = run_cluster(specs, NAPolicy, sim_cfg, **cluster)
     fc = run_cluster(specs, partial(FlowConPolicy, fc_cfg), sim_cfg, **cluster)
     report = compare_runs(na.summary, fc.summary,
                           treatment_name=fc_cfg.describe())
     where = (
-        f"{args.workers} workers ({args.placement})"
+        f"{args.workers} workers ({args.placement}, "
+        f"rebalance {args.rebalance})"
         if args.workers > 1
         else f"seed {args.seed}"
     )
@@ -232,9 +238,11 @@ def _cmd_sweep(args) -> int:
         sim_config=SimulationConfig(seed=args.seed, trace=False),
         n_workers=args.workers,
         placement=args.placement,
+        rebalance=args.rebalance,
     )
     suffix = (
-        f" — {args.workers} workers ({args.placement})"
+        f" — {args.workers} workers ({args.placement}, "
+        f"rebalance {args.rebalance})"
         if args.workers > 1
         else ""
     )
@@ -281,6 +289,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated cluster size")
     p_cmp.add_argument("--placement", choices=sorted(PLACEMENTS),
                        default="spread", help="container placement policy")
+    p_cmp.add_argument("--rebalance", choices=sorted(REBALANCERS),
+                       default="none", help="container rebalance policy")
 
     p_sweep = sub.add_parser("sweep", help="alpha x itval grid")
     p_sweep.add_argument("--alphas", type=float, nargs="+",
@@ -292,6 +302,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated cluster size")
     p_sweep.add_argument("--placement", choices=sorted(PLACEMENTS),
                          default="spread", help="container placement policy")
+    p_sweep.add_argument("--rebalance", choices=sorted(REBALANCERS),
+                         default="none", help="container rebalance policy")
 
     sub.add_parser(
         "validate",

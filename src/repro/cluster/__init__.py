@@ -16,8 +16,12 @@ Key classes
     admission (FIFO queue under pressure) and places containers through
     a pluggable :class:`~repro.cluster.placement.PlacementPolicy`.
 :mod:`~repro.cluster.placement`
-    Placement policies: spread (default), binpack, seeded random and
-    framework/model affinity.
+    Placement policies: spread (default), binpack, seeded random,
+    framework/model affinity and SLAQ-signal progress placement.
+:mod:`~repro.cluster.rebalance`
+    Rebalance policies revisiting placements on exit events: none
+    (default), count-balancing migrate-on-exit, and progress-aware
+    straggler migration via live ``Worker.detach``/``attach``.
 :class:`~repro.cluster.pool.ContainerPool`
     Arrival/finish journal the worker-monitor listeners poll.
 :class:`~repro.cluster.contention.ContentionModel`
@@ -32,11 +36,21 @@ from repro.cluster.placement import (
     AffinityPlacement,
     BinPackPlacement,
     PlacementPolicy,
+    ProgressPlacement,
     RandomPlacement,
     SpreadPlacement,
     make_placement,
 )
 from repro.cluster.pool import ContainerPool, PoolDelta
+from repro.cluster.rebalance import (
+    REBALANCERS,
+    MigrateOnExit,
+    Migration,
+    NoRebalance,
+    ProgressAwareRebalance,
+    RebalancePolicy,
+    make_rebalance,
+)
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 
@@ -47,12 +61,20 @@ __all__ = [
     "ContentionModel",
     "JobSubmission",
     "Manager",
+    "MigrateOnExit",
+    "Migration",
+    "NoRebalance",
     "PLACEMENTS",
     "Placement",
     "PlacementPolicy",
     "PoolDelta",
+    "ProgressAwareRebalance",
+    "ProgressPlacement",
+    "REBALANCERS",
     "RandomPlacement",
+    "RebalancePolicy",
     "SpreadPlacement",
     "Worker",
     "make_placement",
+    "make_rebalance",
 ]

@@ -22,14 +22,32 @@ submit time) is recorded on the :class:`Placement` and surfaced through
 tracks the worst backlog of the run.  With unbounded workers (the
 default, and the paper's single-node setup) the queue is never used and
 behaviour is bit-identical to the historical pass-through manager.
+
+Rebalancing
+-----------
+After each exit-hook queue drain the manager hands the cluster to a
+pluggable :class:`~repro.cluster.rebalance.RebalancePolicy`, which may
+migrate running containers between workers (live ``detach``/``attach``
+with bit-exact remaining work).  Per-job migration counts and in-flight
+delay land on the :class:`Placement` and in :attr:`Manager.migrations` /
+:attr:`Manager.migration_delays`, surfaced through
+:class:`~repro.metrics.summary.RunSummary`.  The default ``"none"``
+policy is short-circuited entirely, preserving bit-identical behaviour
+with the pre-rebalancing manager.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.cluster.placement import PlacementPolicy, make_placement
+from repro.cluster.rebalance import (
+    Migration,
+    NoRebalance,
+    RebalancePolicy,
+    make_rebalance,
+)
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 from repro.errors import ClusterError
@@ -45,6 +63,9 @@ class Placement:
 
     ``queue_delay`` is how long the job waited in the admission queue
     (``placed_time - submit_time``); 0.0 for jobs placed on arrival.
+    ``worker_name`` is the job's *current* host: rebalancing updates it
+    on every migration, bumping ``migrations`` and adding any in-flight
+    checkpoint/restore time to ``migration_delay``.
     """
 
     label: str
@@ -53,6 +74,8 @@ class Placement:
     submit_time: float
     placed_time: float = 0.0
     queue_delay: float = 0.0
+    migrations: int = 0
+    migration_delay: float = 0.0
 
 
 class Manager:
@@ -67,7 +90,12 @@ class Manager:
     placement:
         A :class:`~repro.cluster.placement.PlacementPolicy` instance or
         registry name (``"spread"``, ``"binpack"``, ``"random"``,
-        ``"affinity"``); ``None`` means spread, the historical default.
+        ``"affinity"``, ``"progress"``); ``None`` means spread, the
+        historical default.
+    rebalance:
+        A :class:`~repro.cluster.rebalance.RebalancePolicy` instance or
+        registry name (``"none"``, ``"migrate"``, ``"progress"``);
+        ``None`` means no rebalancing, the historical default.
     """
 
     def __init__(
@@ -76,6 +104,7 @@ class Manager:
         workers: list[Worker],
         *,
         placement: PlacementPolicy | str | None = None,
+        rebalance: RebalancePolicy | str | None = None,
     ) -> None:
         if not workers:
             raise ClusterError("a manager needs at least one worker")
@@ -86,13 +115,20 @@ class Manager:
         self.workers = list(workers)
         self.placement = make_placement(placement)
         self.placement.bind(sim)
+        self.rebalance = make_rebalance(rebalance)
+        self.rebalance.bind(sim)
         self.placements: dict[str, Placement] = {}
         #: label → queueing delay, for jobs that actually waited (>0 s).
         self.queue_delays: dict[str, float] = {}
+        #: label → migration count, for jobs that actually migrated.
+        self.migrations: dict[str, int] = {}
+        #: label → summed in-flight checkpoint/restore seconds.
+        self.migration_delays: dict[str, float] = {}
         self.peak_queue_len: int = 0
         self._queue: deque[JobSubmission] = deque()
         self._labels: set[str] = set()
         self._pending: int = 0
+        self._in_flight: int = 0
         for worker in self.workers:
             worker.exit_hooks.append(self._on_worker_exit)
 
@@ -172,12 +208,81 @@ class Manager:
         self._place(submission, eligible)
 
     def _on_worker_exit(self, _container) -> None:
-        """Worker exit hook: drain the admission queue in FIFO order."""
+        """Worker exit hook: drain the admission queue, then rebalance.
+
+        Queued submissions keep strict priority over migrations: the
+        rebalancer only ever moves containers into slots the FIFO drain
+        left free (a non-empty queue implies zero headroom anywhere, so
+        no migration target exists).
+        """
         while self._queue:
             eligible = self._eligible_workers()
             if not eligible:
                 return
             self._place(self._queue.popleft(), eligible)
+        self._rebalance_pass()
+
+    # -- rebalancing ----------------------------------------------------------------
+
+    def _rebalance_pass(self) -> None:
+        """Plan and execute migrations for the current cluster state."""
+        if isinstance(self.rebalance, NoRebalance):
+            # Short-circuit: "none" runs must be bit-identical to the
+            # pre-rebalancing manager — no sampling, no planning.
+            return
+        if len(self.workers) < 2:
+            return
+        # Settle everyone first: progress signals and remaining-work
+        # projections must reflect *now*, not each worker's last event.
+        for worker in self.workers:
+            worker.settle()
+        for move in self.rebalance.plan(self.workers):
+            self._migrate(move)
+
+    def _migrate(self, move: Migration) -> None:
+        """Execute one planned migration (synchronous or in-flight)."""
+        label = move.label
+        delay = self.rebalance.migration_delay
+        container = move.source.detach(move.container.cid)
+        self.migrations[label] = self.migrations.get(label, 0) + 1
+        if delay > 0:
+            self.migration_delays[label] = (
+                self.migration_delays.get(label, 0.0) + delay
+            )
+        record = self.placements.get(label)
+        if record is not None:
+            self.placements[label] = replace(
+                record,
+                worker_name=move.target.name,
+                migrations=record.migrations + 1,
+                migration_delay=record.migration_delay + delay,
+            )
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "manager.migrate",
+                f"migrating {label} {move.source.name} → {move.target.name}"
+                + (f" ({delay:.1f}s in flight)" if delay > 0 else ""),
+                cid=container.cid,
+            )
+        if delay <= 0:
+            move.target.attach(container)
+            return
+        move.target.reserve_slot()
+        self._in_flight += 1
+        self.sim.schedule(
+            self.sim.now + delay,
+            self._on_migration_arrival,
+            kind=EventKind.CONTAINER_MIGRATION,
+            priority=PRIORITY_ARRIVAL,
+            payload=(container, move.target),
+        )
+
+    def _on_migration_arrival(self, event: Event) -> None:
+        """An in-flight container reaches its target worker."""
+        container, target = event.payload
+        target.release_reservation()
+        self._in_flight -= 1
+        target.attach(container)
 
     # -- views ------------------------------------------------------------------------
 
@@ -190,6 +295,20 @@ class Manager:
     def queue_len(self) -> int:
         """Jobs currently waiting in the admission queue."""
         return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Containers currently migrating between workers."""
+        return self._in_flight
+
+    def migration_count(self, label: str) -> int:
+        """How many times a job has been migrated (0 if never)."""
+        return self.migrations.get(label, 0)
+
+    @property
+    def total_migrations(self) -> int:
+        """Migrations executed so far, cluster-wide."""
+        return sum(self.migrations.values())
 
     def queued_labels(self) -> list[str]:
         """Labels waiting in the admission queue, FIFO order."""

@@ -18,7 +18,8 @@ bit-for-bit.
 
 Policies hold per-run state (the RNG stream), so build a fresh instance
 per run — :func:`make_placement` resolves a registry name
-(``"spread"``, ``"binpack"``, ``"random"``, ``"affinity"``) into one,
+(``"spread"``, ``"binpack"``, ``"random"``, ``"affinity"``,
+``"progress"``) into one,
 which is also what keeps batch tasks picklable: tasks carry the *name*,
 each worker process materializes the policy.
 """
@@ -28,6 +29,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Sequence
 
+from repro.cluster.signals import ProgressObserver
 from repro.errors import ClusterError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (worker ← manager)
@@ -41,6 +43,7 @@ __all__ = [
     "BinPackPlacement",
     "RandomPlacement",
     "AffinityPlacement",
+    "ProgressPlacement",
     "PLACEMENTS",
     "make_placement",
 ]
@@ -160,12 +163,55 @@ class AffinityPlacement(PlacementPolicy):
         return min(affine or workers, key=_spread_key)
 
 
+class ProgressPlacement(PlacementPolicy):
+    """SLAQ-signal placement: lowest aggregate progress-rate first.
+
+    Scores each eligible worker by the summed normalized quality
+    improvement per second of its running containers — the same Eq. 1
+    signal :class:`~repro.baselines.slaq.SlaqLikePolicy` allocates by,
+    read through a private
+    :class:`~repro.cluster.signals.ProgressObserver` so no other
+    monitor's sampling windows are disturbed.  New jobs land where the
+    aggregate is lowest: interfering with jobs that are barely improving
+    (converged, or starved anyway) costs the cluster the least marginal
+    quality — SLAQ's greedy rule read as a placement decision.  Idle
+    workers score 0 and therefore attract; ties fall back to spread.
+    """
+
+    name = "progress"
+
+    def __init__(self) -> None:
+        self._sim: "Simulator" | None = None
+        self._observer = ProgressObserver()
+
+    def bind(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._observer.reset()
+
+    def select(
+        self, workers: Sequence["Worker"], submission: "JobSubmission"
+    ) -> "Worker":
+        if self._sim is None:
+            raise ClusterError(
+                "ProgressPlacement must be bound to a simulator before use"
+            )
+        now = self._sim.now
+        scores = {
+            w.name: sum(self._observer.observe(w, now).values())
+            for w in workers
+        }
+        return min(
+            workers, key=lambda w: (scores[w.name],) + _spread_key(w)
+        )
+
+
 #: Registry of placement policies by name, for CLI flags and batch tasks.
 PLACEMENTS: dict[str, type[PlacementPolicy]] = {
     "spread": SpreadPlacement,
     "binpack": BinPackPlacement,
     "random": RandomPlacement,
     "affinity": AffinityPlacement,
+    "progress": ProgressPlacement,
 }
 
 

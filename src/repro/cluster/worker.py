@@ -38,7 +38,7 @@ from repro.containers.allocator import AllocationMode, CpuAllocator
 from repro.containers.container import Container, Workload
 from repro.containers.runtime import ContainerRuntime
 from repro.containers.spec import ResourceSpec
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ContainerStateError
 from repro.simcore.engine import Simulator
 from repro.simcore.equeue import EventHandle
 from repro.simcore.events import PRIORITY_EXIT, Event, EventKind
@@ -115,6 +115,7 @@ class Worker:
         self._rng = sim.rngs.stream(f"{name}.jitter")
 
         self._last_settle = sim.now
+        self._reserved = 0
         self._active: list[Container] = []
         self._allocs = np.zeros(0, dtype=np.float64)
         self._exit_handles: dict[int, EventHandle] = {}
@@ -199,6 +200,91 @@ class Worker:
         """
         self.settle()
         self._reallocate()
+
+    # -- migration ---------------------------------------------------------------
+
+    def detach(self, cid: int) -> Container:
+        """Checkpoint a running container off this node (migration source).
+
+        Settles first, so every CPU-second delivered up to now is already
+        in the job and its cgroup counters; the container leaves carrying
+        both, which is what makes its remaining work bit-exact wherever
+        it reattaches.  The projected exit event is cancelled, the pool
+        journals the departure (the worker monitor sees it exactly like a
+        finish — the container is gone from *this* node), and the
+        remaining pool is reallocated.  No exit hooks fire: the job has
+        not completed.
+        """
+        self.settle()
+        container = self.runtime.get(cid)
+        if not container.running:
+            raise ContainerStateError(
+                f"cannot detach non-running container {container.name}"
+            )
+        handle = self._exit_handles.pop(cid, None)
+        if handle is not None:
+            self.sim.cancel(handle)
+        self.runtime.release(cid)
+        self.pool.discard(cid, self.sim.now)
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "worker.detach",
+                f"{self.name}: detached {container.name} for migration",
+                cid=cid,
+            )
+        self._reallocate()
+        return container
+
+    def attach(self, container: Container) -> Container:
+        """Adopt a detached, still-running container (migration target).
+
+        The inverse of :meth:`detach`: settle, adopt into the runtime and
+        pool, reallocate (which projects and schedules the container's
+        exit from its carried-over remaining work).  Launch hooks fire —
+        to this node's policy and recorder the container is a new
+        arrival, exactly as after a real checkpoint/restore.
+        """
+        if not container.running:
+            raise ContainerStateError(
+                f"cannot attach non-running container {container.name}"
+            )
+        if not self.has_headroom():
+            raise CapacityError(
+                f"{self.name} is at its admission limit "
+                f"({self.max_containers} containers)"
+            )
+        self.settle()
+        self.runtime.adopt(container)
+        self.pool.add(container, self.sim.now)
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "worker.attach",
+                f"{self.name}: attached migrated {container.name}",
+                cid=container.cid,
+            )
+        self._reallocate()
+        for hook in self.launch_hooks:
+            hook(container)
+        return container
+
+    def reserve_slot(self) -> None:
+        """Hold an admission slot for an in-flight migration."""
+        if not self.has_headroom():
+            raise CapacityError(
+                f"{self.name} has no admission slot to reserve"
+            )
+        self._reserved += 1
+
+    def release_reservation(self) -> None:
+        """Give back a slot held by :meth:`reserve_slot`."""
+        if self._reserved <= 0:
+            raise CapacityError(f"{self.name} has no reservation to release")
+        self._reserved -= 1
+
+    @property
+    def reserved(self) -> int:
+        """Admission slots held for in-flight migrations."""
+        return self._reserved
 
     # -- settlement -----------------------------------------------------------------
 
@@ -394,10 +480,14 @@ class Worker:
         return self.runtime.running()
 
     def has_headroom(self) -> bool:
-        """Whether an admission slot is free (always true when unbounded)."""
+        """Whether an admission slot is free (always true when unbounded).
+
+        Slots reserved for in-flight migrations count as occupied.
+        """
         return (
             self.max_containers is None
-            or len(self.runtime.running()) < self.max_containers
+            or len(self.runtime.running()) + self._reserved
+            < self.max_containers
         )
 
     def allocations(self) -> dict[int, float]:

@@ -147,6 +147,12 @@ class SimulationConfig:
         workers.  ``None`` (historical behaviour) is unbounded; a bound
         makes the manager queue open arrivals instead of
         over-subscribing nodes.
+    rebalance:
+        Default rebalance-policy registry name for runner-constructed
+        managers (``"none"``, ``"migrate"``, ``"progress"``; see
+        :mod:`repro.cluster.rebalance`).  ``"none"`` (historical
+        behaviour) never migrates and is bit-identical to the
+        pre-rebalancing manager.
     """
 
     seed: int = 0
@@ -158,6 +164,7 @@ class SimulationConfig:
     trace: bool = True
     reschedule_tolerance: float = 0.0
     max_containers: int | None = None
+    rebalance: str = "none"
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -175,6 +182,15 @@ class SimulationConfig:
             raise ConfigError(
                 f"max_containers must be >= 1 or None, "
                 f"got {self.max_containers!r}"
+            )
+        # Imported lazily: the rebalance registry lives above this module
+        # in the layering (cluster policies import config-adjacent code).
+        from repro.cluster.rebalance import REBALANCERS
+
+        if self.rebalance not in REBALANCERS:
+            raise ConfigError(
+                f"unknown rebalance {self.rebalance!r}; "
+                f"choose from {sorted(REBALANCERS)}"
             )
 
     def with_params(self, **kwargs) -> "SimulationConfig":

@@ -109,6 +109,37 @@ class ContainerRuntime:
         self._notify("remove", container)
         return container
 
+    def release(self, cid: int) -> Container:
+        """Hand a RUNNING container off this daemon (live-migration source).
+
+        The container keeps its full state (job progress, limits, cgroup
+        counters); only the table entry and this daemon's sampler memory
+        go.  The counterpart of :meth:`adopt` on the target daemon.
+        """
+        container = self.get(cid)
+        if container.state is not ContainerState.RUNNING:
+            raise ContainerStateError(
+                f"cannot release non-running container {container.name}"
+            )
+        del self._containers[cid]
+        self._sampler.forget(cid)
+        self._notify("release", container)
+        return container
+
+    def adopt(self, container: Container) -> Container:
+        """Accept a RUNNING container released by another daemon."""
+        if container.state is not ContainerState.RUNNING:
+            raise ContainerStateError(
+                f"cannot adopt non-running container {container.name}"
+            )
+        if container.cid in self._containers:
+            raise ContainerStateError(
+                f"container {container.name} is already on this daemon"
+            )
+        self._containers[container.cid] = container
+        self._notify("adopt", container)
+        return container
+
     # -- internal / worker-facing ---------------------------------------------
 
     def get(self, cid: int) -> Container:

@@ -21,7 +21,6 @@ from repro.experiments.batch import RunRecord, RunTask, run_many, run_tasks
 from repro.experiments.runner import (
     RunResult,
     run_cluster,
-    run_multi_worker,
     run_scenario,
     scaling_study,
 )
@@ -30,6 +29,7 @@ from repro.experiments.scenarios import (
     fifty_job,
     fixed_three_job,
     heterogeneous_cluster,
+    imbalanced_cluster,
     random_fifteen_job,
     random_five_job,
     random_ten_job,
@@ -45,12 +45,12 @@ __all__ = [
     "fifty_job",
     "fixed_three_job",
     "heterogeneous_cluster",
+    "imbalanced_cluster",
     "random_fifteen_job",
     "random_five_job",
     "random_ten_job",
     "run_cluster",
     "run_many",
-    "run_multi_worker",
     "run_scenario",
     "run_tasks",
     "scaling_study",

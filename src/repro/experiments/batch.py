@@ -72,6 +72,11 @@ class RunTask:
         Placement-policy registry name (see
         :mod:`repro.cluster.placement`); carried by name so tasks stay
         picklable across the process pool.
+    rebalance:
+        Rebalance-policy registry name (see
+        :mod:`repro.cluster.rebalance`); carried by name for the same
+        picklability reason.  ``None`` defers to
+        ``sim_config.rebalance``.
     capacities:
         Optional per-worker CPU capacities (heterogeneous clusters).
     max_containers:
@@ -88,6 +93,7 @@ class RunTask:
     sim_config: SimulationConfig
     n_workers: int = 1
     placement: str = "spread"
+    rebalance: str | None = None
     capacities: tuple[float, ...] | None = None
     max_containers: int | tuple[int | None, ...] | None = None
     label: str = ""
@@ -98,7 +104,9 @@ class RunRecord:
     """Compact, pickle-friendly result of one batch run.
 
     ``queue_delays``/``peak_queue_len`` carry the manager's admission-
-    queue observations (empty/zero for unbounded clusters).
+    queue observations (empty/zero for unbounded clusters);
+    ``migrations``/``migration_delays`` carry the rebalancer's (empty
+    under ``rebalance="none"``).
     """
 
     index: int
@@ -111,6 +119,8 @@ class RunRecord:
     wall_time: float
     queue_delays: tuple[tuple[str, float], ...] = ()
     peak_queue_len: int = 0
+    migrations: tuple[tuple[str, int], ...] = ()
+    migration_delays: tuple[tuple[str, float], ...] = ()
     makespan: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -126,6 +136,8 @@ class RunRecord:
             completions=list(self.completions),
             queue_delays=dict(self.queue_delays),
             peak_queue_len=self.peak_queue_len,
+            migrations=dict(self.migrations),
+            migration_delays=dict(self.migration_delays),
         )
 
     def completion_times(self) -> dict[str, float]:
@@ -155,6 +167,7 @@ def _execute_task(task: RunTask) -> RunRecord:
         task.sim_config,
         n_workers=task.n_workers,
         placement=task.placement,
+        rebalance=task.rebalance,
         capacities=task.capacities,
         max_containers=task.max_containers,
     )
@@ -170,6 +183,8 @@ def _execute_task(task: RunTask) -> RunRecord:
         wall_time=time.perf_counter() - t0,
         queue_delays=tuple(sorted(summary.queue_delays.items())),
         peak_queue_len=summary.peak_queue_len,
+        migrations=tuple(sorted(summary.migrations.items())),
+        migration_delays=tuple(sorted(summary.migration_delays.items())),
     )
 
 
@@ -229,8 +244,9 @@ def run_many(
     labels: Sequence[str] | None = None,
     n_workers: int = 1,
     placement: str = "spread",
+    rebalance: str | None = None,
     capacities: Sequence[float] | None = None,
-    max_containers: int | None = None,
+    max_containers: int | Sequence[int | None] | None = None,
 ) -> list[RunRecord]:
     """Run many scenarios under a policy, serially or in parallel.
 
@@ -254,10 +270,10 @@ def run_many(
         run uses ``sim_config.seed`` — deterministic either way.
     labels:
         Optional per-run labels carried into the records.
-    n_workers / placement / capacities / max_containers:
+    n_workers / placement / rebalance / capacities / max_containers:
         Simulated-cluster shape shared by every run, forwarded to
-        :func:`~repro.experiments.runner.run_cluster` (placement by
-        registry name, to keep tasks picklable).
+        :func:`~repro.experiments.runner.run_cluster` (placement and
+        rebalance by registry name, to keep tasks picklable).
 
     Returns
     -------
@@ -293,8 +309,13 @@ def run_many(
             ),
             n_workers=n_workers,
             placement=placement,
+            rebalance=rebalance,
             capacities=None if capacities is None else tuple(capacities),
-            max_containers=max_containers,
+            max_containers=(
+                max_containers
+                if max_containers is None or isinstance(max_containers, int)
+                else tuple(max_containers)
+            ),
             label="" if labels is None else str(labels[i]),
         )
         for i in range(n)

@@ -10,11 +10,11 @@ workload; step until every job completes; return a :class:`RunResult`.
 
 ``n_workers=1`` is the degenerate case and reproduces the historical
 single-worker runner bit-for-bit (asserted against a golden fixture in
-``tests/experiments/test_cluster_runner.py``).  :func:`run_scenario` and
-:func:`run_multi_worker` remain as thin wrappers, so FlowCon-vs-NA
-comparisons still read the same: call twice with the same workload specs
-and simulation config — identical substrate, identical seeds, only the
-policy differs.
+``tests/experiments/test_cluster_runner.py``).  :func:`run_scenario`
+remains as a thin single-worker wrapper, so FlowCon-vs-NA comparisons
+still read the same: call twice with the same workload specs and
+simulation config — identical substrate, identical seeds, only the
+policy differs.  Multi-worker runs call :func:`run_cluster` directly.
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 
 from repro.cluster.manager import Manager
 from repro.cluster.placement import PlacementPolicy
+from repro.cluster.rebalance import RebalancePolicy
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 from repro.config import SimulationConfig
@@ -39,7 +40,6 @@ __all__ = [
     "RunResult",
     "run_cluster",
     "run_scenario",
-    "run_multi_worker",
     "scaling_study",
 ]
 
@@ -125,6 +125,7 @@ def run_cluster(
     *,
     n_workers: int = 1,
     placement: PlacementPolicy | str | None = None,
+    rebalance: RebalancePolicy | str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
 ) -> RunResult:
@@ -150,7 +151,13 @@ def run_cluster(
         given and ``n_workers`` is left at 1.
     placement:
         Placement policy instance or registry name (``"spread"``,
-        ``"binpack"``, ``"random"``, ``"affinity"``); default spread.
+        ``"binpack"``, ``"random"``, ``"affinity"``, ``"progress"``);
+        default spread.
+    rebalance:
+        Rebalance policy instance or registry name (``"none"``,
+        ``"migrate"``, ``"progress"``); ``None`` falls back to
+        ``sim_config.rebalance`` (default ``"none"``, the historical
+        never-migrate behaviour).
     capacities:
         Optional per-worker CPU capacities for heterogeneous clusters.
     max_containers:
@@ -204,7 +211,12 @@ def run_cluster(
         )
         for i in range(n_workers)
     ]
-    manager = Manager(sim, workers, placement=placement)
+    manager = Manager(
+        sim,
+        workers,
+        placement=placement,
+        rebalance=rebalance if rebalance is not None else cfg.rebalance,
+    )
     recorders: dict[str, MetricsRecorder] = {}
     policies: dict[str, SchedulingPolicy] = {}
     for worker in workers:
@@ -258,6 +270,8 @@ def run_cluster(
             completions=completions,
             queue_delays=dict(manager.queue_delays),
             peak_queue_len=manager.peak_queue_len,
+            migrations=dict(manager.migrations),
+            migration_delays=dict(manager.migration_delays),
         ),
         sim=sim,
         manager=manager,
@@ -281,32 +295,6 @@ def run_scenario(
     return run_cluster(specs, policy, sim_config)
 
 
-def run_multi_worker(
-    specs: list[WorkloadSpec],
-    policy_factory: PolicyFactory,
-    *,
-    n_workers: int,
-    sim_config: SimulationConfig | None = None,
-    placement: PlacementPolicy | str | None = None,
-    capacities: Sequence[float] | None = None,
-    max_containers: int | Sequence[int | None] | None = None,
-) -> RunResult:
-    """Run one workload on an ``n_workers`` cluster.
-
-    Thin wrapper over :func:`run_cluster` requiring an explicit cluster
-    size and a policy factory (one fresh policy per worker).
-    """
-    return run_cluster(
-        specs,
-        policy_factory,
-        sim_config,
-        n_workers=n_workers,
-        placement=placement,
-        capacities=capacities,
-        max_containers=max_containers,
-    )
-
-
 def scaling_study(
     specs: list[WorkloadSpec],
     policy_factory: PolicyFactory,
@@ -314,6 +302,7 @@ def scaling_study(
     *,
     sim_config: SimulationConfig | None = None,
     placement: str = "spread",
+    rebalance: str | None = None,
     workers: int = 1,
 ):
     """Run one workload across several cluster sizes, optionally in parallel.
@@ -336,6 +325,9 @@ def scaling_study(
         Substrate parameters shared by every run.
     placement:
         Placement-policy registry name shared by every run.
+    rebalance:
+        Rebalance-policy registry name shared by every run; ``None``
+        defers to ``sim_config.rebalance``.
     workers:
         *Host* process count for the batch runner (unrelated to the
         simulated cluster sizes).
@@ -358,6 +350,7 @@ def scaling_study(
             sim_config=cfg,
             n_workers=n,
             placement=placement,
+            rebalance=rebalance,
             label=f"{n}-worker",
         )
         for i, n in enumerate(cluster_sizes)

@@ -31,6 +31,7 @@ __all__ = [
     "two_hundred_job",
     "ClusterScenario",
     "heterogeneous_cluster",
+    "imbalanced_cluster",
 ]
 
 
@@ -142,4 +143,28 @@ def heterogeneous_cluster(
         specs=tuple(specs),
         capacities=(1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5),
         max_containers=(4, 4, 4, 4, 2, 2, 2, 2),
+    )
+
+
+def imbalanced_cluster(
+    seed: int = 42, *, n_jobs: int = 16
+) -> ClusterScenario:
+    """Straggler scenario: one badly undersized worker, burst arrivals.
+
+    Three full-size workers plus one at a quarter of their capacity —
+    the node nobody decommissioned — hit by a burst of jobs inside a
+    30 s window.  Count-based spread placement splits the burst evenly,
+    so a quarter of the jobs land on the straggler and, without
+    rebalancing, crawl for the whole run while the fast workers drain
+    and sit idle: exactly the "bad early placement persists" failure the
+    rebalance layer exists for.  ``bench_perf_rebalance.py`` measures
+    the makespan recovered by migrate-on-exit and progress-aware
+    rebalancing on this shape.
+    """
+    gen = WorkloadGenerator(_rng(seed, "imbalanced"))
+    specs = gen.random_mix(n_jobs, window=(0.0, 30.0))
+    return ClusterScenario(
+        specs=tuple(specs),
+        capacities=(1.0, 1.0, 1.0, 0.25),
+        max_containers=(8, 8, 8, 8),
     )

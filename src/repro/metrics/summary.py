@@ -52,12 +52,17 @@ class RunSummary:
     admission queue: seconds spent waiting for an admission slot, for
     the labels that actually queued, and the worst backlog of the run.
     Both are empty/zero for unbounded clusters (the paper's single-node
-    setup).
+    setup).  ``migrations`` and ``migration_delays`` describe the
+    rebalancer: per-label move counts and summed in-flight
+    checkpoint/restore seconds, for the labels that actually migrated —
+    empty under ``rebalance="none"``.
     """
 
     completions: list[CompletionRecord]
     queue_delays: dict[str, float] = field(default_factory=dict)
     peak_queue_len: int = 0
+    migrations: dict[str, int] = field(default_factory=dict)
+    migration_delays: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.completions:
@@ -103,6 +108,28 @@ class RunSummary:
     def max_queue_delay(self) -> float:
         """Largest single admission-queue delay."""
         return max(self.queue_delays.values(), default=0.0)
+
+    # -- rebalancing ---------------------------------------------------------------
+
+    def migration_count(self, label: str) -> int:
+        """How many times *label* was migrated (0 if never)."""
+        return self.migrations.get(label, 0)
+
+    def total_migrations(self) -> int:
+        """Migrations executed across the whole run."""
+        return sum(self.migrations.values())
+
+    def migrated_labels(self) -> list[str]:
+        """Labels that migrated at least once, sorted."""
+        return sorted(self.migrations)
+
+    def migration_delay(self, label: str) -> float:
+        """In-flight seconds *label* spent migrating (0.0 if never)."""
+        return self.migration_delays.get(label, 0.0)
+
+    def total_migration_delay(self) -> float:
+        """Sum of all jobs' in-flight migration seconds."""
+        return float(sum(self.migration_delays.values()))
 
     # -- derived ---------------------------------------------------------------------
 

@@ -32,6 +32,8 @@ class EventKind(enum.Enum):
     JOB_ARRIVAL = "job_arrival"
     #: A container's training job finished; the container exits.
     CONTAINER_EXIT = "container_exit"
+    #: An in-flight migrated container arriving at its target worker.
+    CONTAINER_MIGRATION = "container_migration"
     #: A periodic scheduling-policy tick (Algorithm 1 cadence).
     SCHEDULER_TICK = "scheduler_tick"
     #: A listener poll (Algorithm 2 cadence).

@@ -1,0 +1,151 @@
+"""Invariant/fuzz harness for the cluster scheduling layer.
+
+Example-based tests pin known shapes; this harness sweeps *seeded
+random* cluster shapes — 1–8 workers, mixed capacities, bounded and
+unbounded admission slots — through every placement × rebalance policy
+combination and asserts the conservation invariants that must hold for
+any of them:
+
+* every submitted job completes **exactly once**, wherever migrations
+  took it;
+* no worker ever exceeds its admission slots (in-flight migration
+  reservations included), checked after *every* simulation event;
+* the FIFO admission queue fully drains;
+* repeating a run with the same seed is bit-identical.
+
+Shapes are drawn from a ``numpy`` generator seeded independently of the
+simulator, so the same test seed always fuzzes the same cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.manager import Manager
+from repro.cluster.placement import PLACEMENTS
+from repro.cluster.rebalance import (
+    REBALANCERS,
+    MigrateOnExit,
+    ProgressAwareRebalance,
+)
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+_CAPACITY_POOL = [0.25, 0.5, 1.0]
+
+
+def _random_shape(seed: int):
+    """Cluster + workload shape for one fuzz case (pure function of seed)."""
+    rng = np.random.default_rng(seed)
+    n_workers = int(rng.integers(1, 9))
+    capacities = [float(rng.choice(_CAPACITY_POOL)) for _ in range(n_workers)]
+    slots = [
+        int(rng.integers(1, 5)) if rng.random() < 0.5 else None
+        for _ in range(n_workers)
+    ]
+    n_jobs = int(rng.integers(6, 13))
+    jobs = [
+        (
+            f"Job-{i}",
+            float(rng.uniform(10.0, 80.0)),   # total work
+            float(rng.uniform(0.5, 1.0)),     # demand ceiling
+            float(rng.uniform(0.0, 60.0)),    # submit time
+        )
+        for i in range(1, n_jobs + 1)
+    ]
+    return capacities, slots, jobs
+
+
+def _run_checked(seed: int, placement: str, rebalance) -> dict[str, str]:
+    """Run one fuzz case, asserting invariants; return label → repr(t_f)."""
+    capacities, slots, jobs = _random_shape(seed)
+    sim = Simulator(seed=seed, trace=False)
+    workers = [
+        Worker(
+            sim,
+            name=f"w{i}",
+            capacity=cap,
+            contention=ContentionModel.ideal(),
+            max_containers=n,
+        )
+        for i, (cap, n) in enumerate(zip(capacities, slots))
+    ]
+    manager = Manager(sim, workers, placement=placement, rebalance=rebalance)
+    finished: list[tuple[str, float]] = []
+    for worker in workers:
+        worker.exit_hooks.append(
+            lambda c: finished.append((c.name, c.finished_at))
+        )
+    manager.submit_all(
+        [
+            JobSubmission(
+                label=label,
+                job=make_linear_job(label, work, demand=demand),
+                submit_time=t,
+            )
+            for label, work, demand, t in jobs
+        ]
+    )
+    while True:
+        event = sim.step()
+        if event is None:
+            break
+        for worker in workers:
+            occupied = len(worker.running_containers()) + worker.reserved
+            assert worker.max_containers is None or (
+                occupied <= worker.max_containers
+            ), f"{worker.name} over capacity after {event!r}"
+
+    # Exactly-once completion, wherever migrations took each job.
+    labels = sorted(name for name, _ in finished)
+    assert labels == sorted(label for label, *_ in jobs)
+    # The FIFO queue fully drained and nothing is still in flight.
+    assert manager.queue_len == 0
+    assert manager.pending == 0
+    assert manager.in_flight == 0
+    assert all(w.reserved == 0 for w in workers)
+    assert all(not w.running_containers() for w in workers)
+    # Every placed job's record points at a real worker.
+    names = {w.name for w in workers}
+    for label, *_ in jobs:
+        assert manager.placement_of(label).worker_name in names
+    return {name: repr(t) for name, t in finished}
+
+
+@pytest.mark.parametrize("placement", sorted(PLACEMENTS))
+@pytest.mark.parametrize("rebalance", sorted(REBALANCERS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_conservation_invariants(placement, rebalance, seed):
+    """Invariants hold and repeat runs are bit-identical, for every
+    placement × rebalance combination on random cluster shapes."""
+    first = _run_checked(seed, placement, rebalance)
+    second = _run_checked(seed, placement, rebalance)
+    assert first == second
+
+
+@pytest.mark.parametrize("seed", [2, 3, 4])
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: MigrateOnExit(migration_delay=3.0),
+        lambda: ProgressAwareRebalance(migration_delay=3.0),
+    ],
+    ids=["migrate-delayed", "progress-delayed"],
+)
+def test_invariants_with_in_flight_migrations(seed, factory):
+    """Checkpoint/restore delay keeps every invariant intact."""
+    first = _run_checked(seed, "spread", factory())
+    second = _run_checked(seed, "spread", factory())
+    assert first == second
+
+
+def test_registries_are_fully_covered():
+    """The grids above really sweep every registered policy."""
+    assert sorted(PLACEMENTS) == [
+        "affinity", "binpack", "progress", "random", "spread",
+    ]
+    assert sorted(REBALANCERS) == ["migrate", "none", "progress"]

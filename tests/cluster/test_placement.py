@@ -10,6 +10,7 @@ from repro.cluster.placement import (
     PLACEMENTS,
     AffinityPlacement,
     BinPackPlacement,
+    ProgressPlacement,
     RandomPlacement,
     SpreadPlacement,
     make_placement,
@@ -162,3 +163,48 @@ class TestAffinity:
             workers, _submission("Job-1", 0.0, image="repro/x")
         )
         assert chosen.name == "w1"
+
+
+class TestProgress:
+    def test_unbound_policy_rejected(self):
+        with pytest.raises(ClusterError):
+            ProgressPlacement().select([], _submission("Job-1", 0.0))
+
+    def test_prefers_lowest_aggregate_progress(self):
+        """New jobs land where existing jobs improve the least."""
+        sim = Simulator(seed=0, trace=False)
+        fast = Worker(sim, name="wfast", contention=ContentionModel.ideal())
+        slow = Worker(sim, name="wslow", contention=ContentionModel.ideal())
+        # E falls 1→0 over total_work CPU-seconds: "quick" improves 100×
+        # faster per second than the near-converged "crawl".
+        fast.launch(make_linear_job("quick", total_work=50.0))
+        slow.launch(make_linear_job("crawl", total_work=5000.0))
+        policy = ProgressPlacement()
+        policy.bind(sim)
+        # Two spaced observations build the per-container rates.
+        sim.run(until=10.0)
+        policy.select([fast, slow], _submission("probe-1", 0.0))
+        sim.run(until=20.0)
+        chosen = policy.select([fast, slow], _submission("probe-2", 0.0))
+        assert chosen.name == "wslow"
+
+    def test_no_signal_falls_back_to_spread(self):
+        sim, _, manager = _cluster(n=3, placement="progress")
+        manager.submit_all(
+            [_submission(f"Job-{i}", 0.0) for i in range(1, 4)]
+        )
+        sim.run(until=1.0)
+        assert {
+            _worker_of(manager, f"Job-{i}") for i in range(1, 4)
+        } == {"w0", "w1", "w2"}
+
+    def test_deterministic_under_fixed_seed(self):
+        def placements(seed):
+            sim, _, manager = _cluster(n=3, seed=seed, placement="progress")
+            manager.submit_all(
+                [_submission(f"Job-{i}", 20.0 * i) for i in range(1, 9)]
+            )
+            sim.run_until_empty()
+            return [_worker_of(manager, f"Job-{i}") for i in range(1, 9)]
+
+        assert placements(5) == placements(5)

@@ -1,0 +1,339 @@
+"""Unit tests for live migration and the rebalance policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.manager import Manager
+from repro.cluster.rebalance import (
+    REBALANCERS,
+    MigrateOnExit,
+    NoRebalance,
+    ProgressAwareRebalance,
+    make_rebalance,
+)
+from repro.cluster.submission import JobSubmission
+from repro.cluster.worker import Worker
+from repro.errors import (
+    CapacityError,
+    ClusterError,
+    ConfigError,
+    ContainerStateError,
+)
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+
+def _worker(sim, name, capacity=1.0, slots=None):
+    return Worker(
+        sim,
+        name=name,
+        capacity=capacity,
+        contention=ContentionModel.ideal(),
+        max_containers=slots,
+    )
+
+
+def _submission(label, t, work=50.0):
+    return JobSubmission(
+        label=label, job=make_linear_job(label, work), submit_time=t
+    )
+
+
+class TestDetachAttach:
+    def test_migrated_remaining_work_is_bit_exact(self):
+        """Run → detach → attach reproduces a never-migrated run exactly.
+
+        Both workers have the same capacity and the container runs alone
+        on each, so the allocation history (1.0 throughout) is identical
+        with and without migration — completion times must match to the
+        last bit.
+        """
+        baseline = Simulator(seed=3, trace=False)
+        w = _worker(baseline, "solo")
+        c0 = w.launch(make_linear_job("ref", 100.0, demand=1.0))
+        baseline.run_until_empty()
+        expected = c0.completion_time()
+
+        sim = Simulator(seed=3, trace=False)
+        src = _worker(sim, "src")
+        dst = _worker(sim, "dst")
+        container = src.launch(make_linear_job("ref", 100.0, demand=1.0))
+        sim.run(until=37.0)
+        moved = src.detach(container.cid)
+        assert moved is container
+        assert src.running_containers() == []
+        dst.attach(container)
+        assert dst.running_containers() == [container]
+        sim.run_until_empty()
+        assert container.exited
+        assert repr(container.completion_time()) == repr(expected)
+
+    def test_detach_settles_and_keeps_cgroup_counters(self):
+        sim = Simulator(seed=0, trace=False)
+        src = _worker(sim, "src")
+        dst = _worker(sim, "dst")
+        container = src.launch(make_linear_job("j", 100.0, demand=1.0))
+        sim.run(until=10.0)
+        src.detach(container.cid)
+        # 10 s at allocation 1.0 were delivered before the move.
+        assert container.cgroup.cpu_seconds() == pytest.approx(10.0)
+        assert container.job.remaining_work() == pytest.approx(90.0)
+        dst.attach(container)
+        sim.run_until_empty()
+        assert container.cgroup.cpu_seconds() == pytest.approx(100.0)
+
+    def test_detach_cancels_exit_and_source_journal(self):
+        sim = Simulator(seed=0, trace=False)
+        src = _worker(sim, "src")
+        dst = _worker(sim, "dst")
+        container = src.launch(make_linear_job("j", 50.0))
+        sim.run(until=5.0)
+        src.detach(container.cid)
+        assert src.pool.count() == 0
+        assert src.pool.total_finishes() == 1  # journal: left this node
+        assert dst.pool.count() == 0
+        dst.attach(container)
+        assert dst.pool.total_arrivals() == 1
+        sim.run_until_empty()
+        assert container.exited
+
+    def test_detach_non_running_raises(self):
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w")
+        container = w.launch(make_linear_job("j", 10.0))
+        sim.run_until_empty()
+        assert container.exited
+        with pytest.raises(ContainerStateError):
+            w.detach(container.cid)
+
+    def test_attach_requires_headroom(self):
+        sim = Simulator(seed=0, trace=False)
+        src = _worker(sim, "src")
+        dst = _worker(sim, "dst", slots=1)
+        dst.launch(make_linear_job("resident", 50.0))
+        container = src.launch(make_linear_job("mover", 50.0))
+        src.detach(container.cid)
+        with pytest.raises(CapacityError):
+            dst.attach(container)
+
+    def test_attach_fires_launch_hooks(self):
+        sim = Simulator(seed=0, trace=False)
+        src = _worker(sim, "src")
+        dst = _worker(sim, "dst")
+        seen = []
+        dst.launch_hooks.append(lambda c: seen.append(c.name))
+        container = src.launch(make_linear_job("j", 50.0))
+        src.detach(container.cid)
+        dst.attach(container)
+        assert seen == ["j"]
+
+    def test_adopt_duplicate_rejected(self):
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w")
+        container = w.launch(make_linear_job("j", 50.0))
+        with pytest.raises(ContainerStateError):
+            w.runtime.adopt(container)
+
+
+class TestReservations:
+    def test_reserved_slot_blocks_admission(self):
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w", slots=1)
+        w.reserve_slot()
+        assert not w.has_headroom()
+        with pytest.raises(CapacityError):
+            w.launch(make_linear_job("j", 10.0))
+        w.release_reservation()
+        assert w.has_headroom()
+        w.launch(make_linear_job("j", 10.0))
+
+    def test_reserve_without_headroom_raises(self):
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w", slots=1)
+        w.launch(make_linear_job("j", 10.0))
+        with pytest.raises(CapacityError):
+            w.reserve_slot()
+
+    def test_release_underflow_raises(self):
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w")
+        with pytest.raises(CapacityError):
+            w.release_reservation()
+
+
+class TestPolicyValidation:
+    def test_registry_and_factory(self):
+        assert sorted(REBALANCERS) == ["migrate", "none", "progress"]
+        assert isinstance(make_rebalance(None), NoRebalance)
+        assert isinstance(make_rebalance("migrate"), MigrateOnExit)
+        policy = ProgressAwareRebalance()
+        assert make_rebalance(policy) is policy
+        with pytest.raises(ClusterError):
+            make_rebalance("gandiva")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            MigrateOnExit(gap=1)
+        with pytest.raises(ConfigError):
+            MigrateOnExit(max_moves=0)
+        with pytest.raises(ConfigError):
+            ProgressAwareRebalance(min_gain=1.0)
+        with pytest.raises(ConfigError):
+            NoRebalance(migration_delay=-1.0)
+
+    def test_unbound_progress_policy_raises(self):
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w")
+        with pytest.raises(ClusterError):
+            ProgressAwareRebalance().plan([w])
+
+
+def _collect_completions(workers):
+    done = []
+    for worker in workers:
+        worker.exit_hooks.append(lambda c: done.append(c.name))
+    return done
+
+
+class TestMigrateOnExit:
+    def _cluster(self, rebalance):
+        sim = Simulator(seed=0, trace=False)
+        workers = [_worker(sim, "w0"), _worker(sim, "w1")]
+        manager = Manager(sim, workers, rebalance=rebalance)
+        return sim, workers, manager
+
+    def test_counts_rebalance_after_exits(self):
+        """Short jobs drain one worker; the other's surplus migrates."""
+        sim, workers, manager = self._cluster("migrate")
+        done = _collect_completions(workers)
+        # Spread alternates: shorts and longs interleave, so one worker
+        # ends up with a count surplus once the shorts finish.
+        manager.submit_all(
+            [
+                _submission("S-1", 0.0, work=10.0),
+                _submission("S-2", 0.0, work=10.0),
+                _submission("L-1", 0.0, work=200.0),
+                _submission("L-2", 0.0, work=200.0),
+                _submission("L-3", 0.0, work=200.0),
+                _submission("L-4", 0.0, work=200.0),
+            ]
+        )
+        sim.run_until_empty()
+        assert sorted(done) == ["L-1", "L-2", "L-3", "L-4", "S-1", "S-2"]
+        assert manager.total_migrations > 0
+        for label in manager.migrations:
+            assert manager.placement_of(label).migrations >= 1
+
+    def test_none_policy_never_migrates(self):
+        sim, workers, manager = self._cluster("none")
+        done = _collect_completions(workers)
+        manager.submit_all(
+            [_submission(f"Job-{i}", 0.0, work=20.0 * i) for i in range(1, 6)]
+        )
+        sim.run_until_empty()
+        assert len(done) == 5
+        assert manager.migrations == {}
+        assert manager.migration_delays == {}
+
+    def test_migration_respects_admission_slots(self):
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            _worker(sim, "w0", slots=2),
+            _worker(sim, "w1", slots=2),
+        ]
+        manager = Manager(sim, workers, rebalance="migrate")
+        manager.submit_all(
+            [
+                _submission("S-1", 0.0, work=5.0),
+                _submission("L-1", 0.0, work=300.0),
+                _submission("L-2", 0.0, work=300.0),
+                _submission("L-3", 1.0, work=300.0),
+            ]
+        )
+        while True:
+            event = sim.step()
+            if event is None:
+                break
+            for w in workers:
+                assert len(w.running_containers()) + w.reserved <= 2
+        assert manager.queue_len == 0
+
+
+class TestProgressAwareRebalance:
+    def _straggler_cluster(self, rebalance):
+        """One full-speed and one quarter-speed worker."""
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            _worker(sim, "w0"),
+            _worker(sim, "w1", capacity=0.25),
+        ]
+        manager = Manager(sim, workers, rebalance=rebalance)
+        return sim, workers, manager
+
+    def _submit_straggler_mix(self, manager):
+        # Spread by (count, load, name): J-1→w0; J-2→w1; J-3→w1 (w1's
+        # load 0.25 < w0's 1.0); J-4→w0.  Staggered short jobs on w0
+        # produce the exit events whose observations build the signal.
+        manager.submit_all(
+            [
+                _submission("J-1", 0.0, work=30.0),
+                _submission("J-2", 0.0, work=100.0),
+                _submission("J-3", 0.0, work=100.0),
+                _submission("J-4", 0.0, work=40.0),
+            ]
+        )
+
+    def test_straggler_jobs_migrate_and_finish_sooner(self):
+        sim, workers, manager = self._straggler_cluster("progress")
+        done = _collect_completions(workers)
+        self._submit_straggler_mix(manager)
+        sim.run_until_empty()
+        makespan = sim.now
+
+        base_sim, base_workers, base_manager = self._straggler_cluster("none")
+        base_done = _collect_completions(base_workers)
+        self._submit_straggler_mix(base_manager)
+        base_sim.run_until_empty()
+
+        assert sorted(done) == sorted(base_done)
+        assert manager.total_migrations >= 1
+        assert set(manager.migrations) <= {"J-2", "J-3"}
+        assert makespan < 0.7 * base_sim.now
+
+    def test_migrated_placement_points_at_final_host(self):
+        sim, workers, manager = self._straggler_cluster("progress")
+        self._submit_straggler_mix(manager)
+        sim.run_until_empty()
+        for label in manager.migrations:
+            record = manager.placement_of(label)
+            assert record.worker_name == "w0"
+            assert record.migrations == manager.migrations[label]
+
+    def test_in_flight_delay_recorded_and_reservations_drain(self):
+        sim, workers, manager = self._straggler_cluster(
+            ProgressAwareRebalance(migration_delay=4.0)
+        )
+        done = _collect_completions(workers)
+        self._submit_straggler_mix(manager)
+        sim.run_until_empty()
+        assert len(done) == 4
+        assert manager.in_flight == 0
+        assert all(w.reserved == 0 for w in workers)
+        for label, count in manager.migrations.items():
+            assert manager.migration_delays[label] == pytest.approx(
+                4.0 * count
+            )
+            record = manager.placement_of(label)
+            assert record.migration_delay == pytest.approx(4.0 * count)
+
+    def test_balanced_homogeneous_cluster_never_churns(self):
+        sim = Simulator(seed=0, trace=False)
+        workers = [_worker(sim, "w0"), _worker(sim, "w1")]
+        manager = Manager(sim, workers, rebalance="progress")
+        manager.submit_all(
+            [_submission(f"Job-{i}", 0.0, work=60.0) for i in range(1, 5)]
+        )
+        sim.run_until_empty()
+        assert manager.total_migrations == 0

@@ -14,7 +14,7 @@ from repro.config import FlowConConfig, SimulationConfig
 from repro.core.policy import FlowConPolicy
 from repro.errors import ExperimentError
 from repro.experiments.batch import RunRecord, RunTask, run_many, run_tasks
-from repro.experiments.runner import run_multi_worker, run_scenario, scaling_study
+from repro.experiments.runner import run_cluster, run_scenario, scaling_study
 from repro.experiments.scenarios import fixed_three_job, random_five_job
 
 _CFG = SimulationConfig(trace=False)
@@ -123,7 +123,7 @@ class TestRunRecord:
 
 
 class TestMultiWorkerTasks:
-    def test_task_with_n_workers_matches_run_multi_worker(self):
+    def test_task_with_n_workers_matches_run_cluster(self):
         specs = random_five_job(seed=1)
         [record] = run_tasks(
             [
@@ -136,9 +136,8 @@ class TestMultiWorkerTasks:
                 )
             ]
         )
-        direct = run_multi_worker(
-            specs, NAPolicy, n_workers=2,
-            sim_config=_CFG.with_params(seed=1),
+        direct = run_cluster(
+            specs, NAPolicy, _CFG.with_params(seed=1), n_workers=2,
         )
         assert record.completion_times() == direct.completion_times()
         assert record.n_workers == 2

@@ -19,6 +19,19 @@ class TestParser:
     def test_compare_defaults(self):
         args = build_parser().parse_args(["compare"])
         assert args.jobs == 10 and args.alpha == 0.10
+        assert args.placement == "spread" and args.rebalance == "none"
+
+    def test_rebalance_choices(self):
+        args = build_parser().parse_args(
+            ["compare", "--workers", "2", "--rebalance", "progress"]
+        )
+        assert args.rebalance == "progress"
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "2", "--rebalance", "migrate"]
+        )
+        assert args.rebalance == "migrate"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--rebalance", "gandiva"])
 
 
 class TestCommands:
