@@ -59,6 +59,7 @@ class SlaqLikePolicy(SchedulingPolicy):
         """Start the epoch loop."""
         self.worker = worker
         self._tracker = GrowthTracker()
+        self._sampler = worker.obsbus.sampler()
         self._schedule_epoch()
 
     def _schedule_epoch(self) -> None:
@@ -78,36 +79,39 @@ class SlaqLikePolicy(SchedulingPolicy):
 
     def _on_epoch(self, _event: Event) -> None:
         worker = self.worker
-        worker.settle()
-        running = worker.running_containers()
-        if running:
-            now = worker.sim.now
+        observations = worker.obsbus.observe()  # settles, shared E(t) pass
+        if observations:
+            n = len(observations)
             # Normalized quality gain per second for each job.
-            gains = np.zeros(len(running), dtype=np.float64)
-            for i, container in enumerate(running):
-                stats = worker.runtime.stats(container.cid)
+            gains = np.zeros(n, dtype=np.float64)
+            for i, obs in enumerate(observations):
+                stats = self._sampler.sample(obs)
                 if stats is None or stats.eval_value is None:
                     continue
-                job = container.job
                 # SLAQ normalizes each metric by its total range so
                 # heterogeneous losses are comparable.
-                normalized = job.evalfn.normalized(stats.eval_value)
-                hist = self._tracker.history(container.cid)
-                hist.observe(now, normalized, stats.mean_usage)
+                normalized = obs.container.job.evalfn.normalized(
+                    stats.eval_value
+                )
+                hist = self._tracker.history(obs.cid)
+                hist.observe(obs.time, normalized, stats.mean_usage)
                 sample = hist.latest()
                 gains[i] = sample.progress if sample is not None else 0.0
             if gains.sum() <= 0:
-                shares = np.full(len(running), 1.0 / len(running))
+                shares = np.full(n, 1.0 / n)
             else:
                 fresh = gains <= 0
                 shares = gains / gains.sum()
                 if fresh.any():
-                    shares[fresh] = 1.0 / len(running)
+                    shares[fresh] = 1.0 / n
                     shares /= shares.sum()
             shares = np.maximum(shares, self.min_share)
             shares = np.minimum(shares / shares.max(), 1.0)
             worker.batch_update(
-                {c.cid: float(s) for c, s in zip(running, shares)}
+                {
+                    obs.cid: float(s)
+                    for obs, s in zip(observations, shares)
+                }
             )
         self._schedule_epoch()
 

@@ -97,24 +97,65 @@ class ContentionModel:
             eff /= 1.0 + self.swap_penalty * overcommit
         return eff
 
-    def demand_noise(
-        self,
-        rng: np.random.Generator,
-        limits: np.ndarray,
-    ) -> np.ndarray:
-        """Multiplicative demand factors, one per container.
+    def demand_amplitude(self, limits: np.ndarray) -> np.ndarray | None:
+        """Per-container demand-noise amplitudes for *limits*.
 
-        Containers competing freely (limit above :attr:`limit_threshold`)
-        receive the larger :attr:`jitter_free` amplitude.
+        Pure function of the limit vector, so callers that re-balance
+        many times between limit changes may cache the result.  ``None``
+        means "no jitter" (empty pool or all-zero amplitudes) — the
+        noise methods then skip the RNG draw entirely, which is part of
+        the replay contract (an ideal worker consumes no random numbers).
         """
         limits = np.asarray(limits, dtype=np.float64)
-        n = limits.shape[0]
-        if n == 0:
-            return np.ones(0, dtype=np.float64)
+        if limits.shape[0] == 0:
+            return None
         amplitude = np.where(
             limits >= self.limit_threshold, self.jitter_free, self.jitter_limited
         )
         if not amplitude.any():
+            return None
+        return amplitude
+
+    def weight_amplitude(self, limits: np.ndarray) -> np.ndarray | None:
+        """Per-container weight-noise amplitudes for *limits*.
+
+        Per §5.5.1's explanation of Fig. 15 vs Fig. 16 — "FlowCon employs
+        a soft, upper resource limit to the containers, and therefore the
+        room for free competition is reduced" — the amplitude scales with
+        the *fraction of containers competing freely*: a pool where many
+        containers are pinned to tight limits churns less.  ``None``
+        means no draw (see :meth:`demand_amplitude`).
+        """
+        limits = np.asarray(limits, dtype=np.float64)
+        n = limits.shape[0]
+        if n == 0:
+            return None
+        free = limits >= self.limit_threshold
+        room = float(free.sum()) / n
+        amplitude = np.where(
+            free, self.jitter_free * room, self.jitter_limited
+        )
+        if not amplitude.any():
+            return None
+        return amplitude
+
+    def demand_noise(
+        self,
+        rng: np.random.Generator,
+        limits: np.ndarray,
+        amplitude: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Multiplicative demand factors, one per container.
+
+        Containers competing freely (limit above :attr:`limit_threshold`)
+        receive the larger :attr:`jitter_free` amplitude.  Callers may
+        pass a cached :meth:`demand_amplitude` result (the worker caches
+        amplitudes per limit-table version) to skip recomputation.
+        """
+        if amplitude is None:
+            amplitude = self.demand_amplitude(limits)
+        n = np.asarray(limits).shape[0]
+        if amplitude is None:
             return np.ones(n, dtype=np.float64)
         return 1.0 + rng.uniform(-1.0, 1.0, size=n) * amplitude
 
@@ -122,25 +163,17 @@ class ContentionModel:
         self,
         rng: np.random.Generator,
         limits: np.ndarray,
+        amplitude: np.ndarray | None = None,
     ) -> np.ndarray:
         """Fair-share weight perturbations for the allocator's phase 1.
 
-        Models the kernel scheduler's imperfect instantaneous fairness.
-        Per §5.5.1's explanation of Fig. 15 vs Fig. 16 — "FlowCon employs
-        a soft, upper resource limit to the containers, and therefore the
-        room for free competition is reduced" — the amplitude scales with
-        the *fraction of containers competing freely*: a pool where many
-        containers are pinned to tight limits churns less.
+        Models the kernel scheduler's imperfect instantaneous fairness;
+        see :meth:`weight_amplitude`, whose cached result callers may
+        pass in.
         """
-        limits = np.asarray(limits, dtype=np.float64)
-        n = limits.shape[0]
-        if n == 0:
-            return np.ones(0, dtype=np.float64)
-        free = limits >= self.limit_threshold
-        room = float(free.sum()) / n
-        amplitude = np.where(
-            free, self.jitter_free * room, self.jitter_limited
-        )
-        if not amplitude.any():
+        if amplitude is None:
+            amplitude = self.weight_amplitude(limits)
+        n = np.asarray(limits).shape[0]
+        if amplitude is None:
             return np.ones(n, dtype=np.float64)
         return 1.0 + rng.uniform(-1.0, 1.0, size=n) * amplitude

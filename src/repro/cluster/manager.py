@@ -117,6 +117,15 @@ class Manager:
         self.placement.bind(sim)
         self.rebalance = make_rebalance(rebalance)
         self.rebalance.bind(sim)
+        if not isinstance(self.rebalance, NoRebalance):
+            # Live migration lets a container meet brand-new observers on
+            # its target worker, whose first sampling window legitimately
+            # reaches back to the container's creation time — checkpoint
+            # history must therefore be kept whole.  Without rebalancing
+            # the observation bus prunes history down to the oldest live
+            # observation window.
+            for worker in self.workers:
+                worker.obsbus.prune = False
         self.placements: dict[str, Placement] = {}
         #: label → queueing delay, for jobs that actually waited (>0 s).
         self.queue_delays: dict[str, float] = {}

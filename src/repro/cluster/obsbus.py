@@ -1,0 +1,289 @@
+"""The per-worker observation bus: one settle/sample pass per tick.
+
+The paper's §3.1 design runs exactly **one** container monitor per worker
+and fans its readings out to every consumer.  Historically this
+reproduction had three observers — the metrics recorder, FlowCon's
+container monitor, and the ``progress`` placement/rebalance observer —
+each running its own settle, cgroup window query and ``E(p)`` curve
+evaluation against the same containers at the same timestamps.
+
+:class:`ObservationBus` restores the paper's single-monitor shape.  Per
+``(worker, timestamp)`` it performs one settle and builds one immutable
+:class:`ContainerObservation` per running container (identity, state,
+current limit/allocation, and the evaluation-function reading computed
+**once**).  Subscribers read those records through a
+:class:`BusSampler`, which keeps the per-subscriber sampling window —
+each observer still sees *its own* interval since *its own* previous
+sample, exactly like the private
+:class:`~repro.containers.stats.StatsSampler` it replaces, so results
+are bit-identical — while the underlying integral snapshots are shared
+through :meth:`CgroupAccount.window_mean_cached`: N subscribers cost one
+uncached window query per container per tick instead of N.
+
+Checkpoint pruning
+------------------
+After each pass the bus prunes every observed container's checkpoint
+history below the oldest window start any registered subscriber can
+still ask for, bounding history by the longest live observation window
+instead of the run length.  Pruning is disabled (:attr:`prune`) by the
+manager whenever a rebalance policy may migrate containers, because a
+migrated container's *new* observers legitimately open windows all the
+way back to its creation time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.containers.cgroup import CgroupAccount
+from repro.containers.container import Container, ContainerState
+from repro.containers.spec import ResourceVector
+from repro.containers.stats import ContainerStats
+
+#: ``running_containers`` only yields RUNNING containers, so the state
+#: string is a constant on the observation hot path.
+_RUNNING = ContainerState.RUNNING.value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (worker ← obsbus)
+    from repro.cluster.worker import Worker
+
+__all__ = ["ContainerObservation", "BusSampler", "ObservationBus"]
+
+
+class ContainerObservation:
+    """One shared observation of one running container.
+
+    Produced once per ``(worker, timestamp, state-version)`` and handed
+    to every subscriber; window means are *not* here because they are
+    per-subscriber state (each observer's window starts at its own
+    previous sample).  A plain ``__slots__`` record, immutable by
+    convention — one is built per container per pass on the hottest
+    sampling path.
+
+    ``eval_value`` is ``E(t)`` computed once for all subscribers
+    (``None`` when the job exposes no evaluation function).
+    """
+
+    __slots__ = (
+        "time",
+        "cid",
+        "name",
+        "state",
+        "created_at",
+        "eval_value",
+        "cpu_alloc",
+        "cpu_limit",
+        "container",
+        "account",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        cid: int,
+        name: str,
+        state: str,
+        created_at: float,
+        eval_value: float | None,
+        cpu_alloc: float,
+        cpu_limit: float,
+        container: Container,
+        account: CgroupAccount,
+    ) -> None:
+        self.time = time
+        self.cid = cid
+        self.name = name
+        self.state = state
+        self.created_at = created_at
+        self.eval_value = eval_value
+        self.cpu_alloc = cpu_alloc
+        self.cpu_limit = cpu_limit
+        self.container = container
+        self.account = account
+
+
+class BusSampler:
+    """One subscriber's sampling window over bus observations.
+
+    Drop-in replacement for a private
+    :class:`~repro.containers.stats.StatsSampler`: remembers each
+    container's last sample time (defaulting to its creation time) and
+    converts a shared :class:`ContainerObservation` into the subscriber's
+    own :class:`~repro.containers.stats.ContainerStats`.  The window-mean
+    arithmetic is the historical ``(∫end − ∫start) / Δt`` on the same
+    integral values, so readings are bit-identical to the private-sampler
+    path.
+    """
+
+    def __init__(self) -> None:
+        self._last_sample: dict[int, float] = {}
+
+    def sample(self, obs: ContainerObservation) -> ContainerStats | None:
+        """Fold one shared observation into this subscriber's window.
+
+        Returns ``None`` for a zero-length window (two samples at the
+        same instant), mirroring how a real monitor skips a duplicate
+        poll.
+        """
+        cid = obs.cid
+        t_prev = self._last_sample.get(cid)
+        if t_prev is None:
+            # First sample: window from creation — or from the pruned
+            # floor for a subscriber that registered after pruning began
+            # (identical on unpruned accounts, where floor == creation).
+            t_prev = obs.account.history_floor
+        time = obs.time
+        if time <= t_prev:
+            return None
+        mean_row = obs.account.window_mean_cached(t_prev, time)
+        self._last_sample[cid] = time
+        return ContainerStats(
+            time,
+            cid,
+            obs.name,
+            obs.state,
+            ResourceVector.from_array(mean_row),
+            obs.cpu_alloc,
+            obs.cpu_limit,
+            obs.eval_value,
+        )
+
+    def window_start(self, cid: int, default: float) -> float:
+        """Where this subscriber's next window for *cid* would begin."""
+        return self._last_sample.get(cid, default)
+
+    def forget(self, cid: int) -> None:
+        """Drop sampler state for an exited container."""
+        self._last_sample.pop(cid, None)
+
+
+class ObservationBus:
+    """Shared observation fan-out for one worker.
+
+    Subscribers obtain a :class:`BusSampler` via :meth:`sampler` (or
+    :meth:`register` one they already hold — cross-worker observers like
+    the progress signal reuse a single sampler on every bus they visit,
+    preserving windows across migrations).  Each call to :meth:`observe`
+    settles the worker and returns the cached observation list for the
+    current ``(time, state-version)``, recomputing only when time moved
+    or worker state changed.
+    """
+
+    def __init__(self, worker: "Worker") -> None:
+        self.worker = worker
+        #: Whether post-pass checkpoint pruning is enabled.
+        self.prune = True
+        self._cache_key: tuple[float, int] | None = None
+        self._cache: list[ContainerObservation] = []
+        self._samplers: list[BusSampler] = []
+        #: Shared passes actually computed (test/bench instrumentation).
+        self.passes = 0
+
+    # -- subscriptions -----------------------------------------------------
+
+    def sampler(self) -> BusSampler:
+        """Create and register a fresh subscriber sampler."""
+        s = BusSampler()
+        self._samplers.append(s)
+        return s
+
+    def register(self, sampler: BusSampler) -> None:
+        """Register an externally owned sampler (idempotent)."""
+        if sampler not in self._samplers:
+            self._samplers.append(sampler)
+
+    def unregister(self, sampler: BusSampler) -> None:
+        """Remove a subscriber (idempotent)."""
+        try:
+            self._samplers.remove(sampler)
+        except ValueError:
+            pass
+
+    # -- the shared pass ---------------------------------------------------
+
+    def observe(self) -> list[ContainerObservation]:
+        """One settle + observation pass for the current instant.
+
+        Settles the worker (exact and idempotent), then returns one
+        observation per running container in cid order.  Consecutive
+        calls at the same time with unchanged worker state hit the
+        cache, so a tick with many subscribers costs one pass.
+        """
+        worker = self.worker
+        worker.settle()
+        key = (worker.sim.now, worker.version)
+        cache_key = self._cache_key
+        if key == cache_key:
+            return self._cache
+        now = key[0]
+        # A running container's E(t) is a pure function of job state,
+        # which only moves when time does — so when only the worker's
+        # state-version changed (e.g. a reallocation between two
+        # observers at one instant), the previous pass's evaluations are
+        # still exact and the curve is not re-evaluated.
+        same_instant = cache_key is not None and cache_key[0] == now
+        prev_evals = (
+            {o.cid: o.eval_value for o in self._cache} if same_instant else {}
+        )
+        observations: list[ContainerObservation] = []
+        append = observations.append
+        for container in worker.running_containers():
+            cid = container.cid
+            if same_instant and cid in prev_evals:
+                eval_value = prev_evals[cid]
+            else:
+                try:
+                    eval_value = container.job.eval_value()
+                except Exception:  # job may not expose E(t)
+                    eval_value = None
+            append(
+                ContainerObservation(
+                    now,
+                    cid,
+                    container.name,
+                    _RUNNING,
+                    container.created_at,
+                    eval_value,
+                    container.current_alloc,
+                    container.limits.cpu,
+                    container,
+                    container.cgroup,
+                )
+            )
+        self._cache_key = key
+        self._cache = observations
+        self.passes += 1
+        # Pruning is amortized: the memory bound only needs to keep up
+        # with history growth, not run on every pass.
+        if self.prune and self._samplers and self.passes % 16 == 0:
+            self._prune(observations)
+        return observations
+
+    # -- memory bound ------------------------------------------------------
+
+    def _prune(self, observations: list[ContainerObservation]) -> None:
+        """Drop checkpoint history no subscriber window can reach.
+
+        The floor for a container is the oldest window start across all
+        registered subscribers; a subscriber that has never sampled the
+        container pins the floor at its creation time, because its first
+        window must still reach back there (FlowCon's monitor samples a
+        new arrival's full first window up to one interval after launch
+        — pruning earlier would clamp it and change readings).  The
+        deliberate cost: a subscriber that stops sampling (e.g. a
+        ``progress`` placement observer after the last arrival) freezes
+        pruning at its last windows, degrading gracefully to the
+        historical keep-everything behaviour (see ROADMAP open item).
+        """
+        samplers = self._samplers
+        for obs in observations:
+            cid, created = obs.cid, obs.created_at
+            floor = obs.time
+            for s in samplers:
+                t = s._last_sample.get(cid, created)
+                if t < floor:
+                    floor = t
+                    if floor <= created:
+                        break
+            if floor > created:
+                obs.account.prune_before(floor)

@@ -2,19 +2,26 @@
 
 Both the ``progress`` placement policy and the progress-aware rebalancer
 read the same SLAQ-style signal — normalized quality improvement per
-second (Eq. 1 over the job's normalized evaluation function) — through a
-*private* :class:`~repro.containers.stats.StatsSampler` +
-:class:`~repro.core.efficiency.GrowthTracker`, so no other monitor's
-sampling windows are disturbed.  :class:`ProgressObserver` is that
-shared observer; policies own one instance each (observation windows are
-per-observer state and must not be shared across policies).
+second (Eq. 1 over the job's normalized evaluation function).  Each
+policy owns one :class:`ProgressObserver`, whose sampling *windows*
+(a :class:`~repro.cluster.obsbus.BusSampler`) are private — observation
+windows are per-observer state and must not be shared across policies —
+while the underlying settle, ``E(t)`` evaluation and integral snapshots
+come from each worker's shared
+:class:`~repro.cluster.obsbus.ObservationBus` pass, so a policy
+observing a worker at the same instant as the metrics recorder or
+FlowCon's monitor adds no cgroup queries of its own.
+
+The sampler is keyed by container id, not by worker: a migrated
+container keeps its observation window across the move, exactly as with
+the historical per-policy :class:`~repro.containers.stats.StatsSampler`.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.containers.stats import StatsSampler
+from repro.cluster.obsbus import BusSampler
 from repro.core.efficiency import GrowthTracker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -27,38 +34,40 @@ class ProgressObserver:
     """Tracks per-container normalized progress rates for one policy."""
 
     def __init__(self) -> None:
-        self._sampler = StatsSampler()
+        self._sampler = BusSampler()
         self._tracker = GrowthTracker()
 
     def reset(self) -> None:
         """Drop all observation state (bind to a new run)."""
-        self._sampler = StatsSampler()
+        self._sampler = BusSampler()
         self._tracker = GrowthTracker()
 
     def observe(self, worker: "Worker", now: float) -> dict[int, float]:
         """Fold one observation of *worker*'s containers; return rates.
 
-        Settles the worker first, so job state and cgroup counters
-        reflect *now* rather than its last event (settlement is exact
-        and idempotent).  Jobs without a normalizable metric fall back
-        to the raw |ΔE|.  Containers observed fewer than twice have no
-        rate yet and are absent from the result.
+        Settles the worker first (via the bus pass), so job state and
+        cgroup counters reflect *now* rather than its last event
+        (settlement is exact and idempotent).  Jobs without a
+        normalizable metric fall back to the raw |ΔE|.  Containers
+        observed fewer than twice have no rate yet and are absent from
+        the result.
         """
-        worker.settle()
+        bus = worker.obsbus
+        bus.register(self._sampler)
         rates: dict[int, float] = {}
-        for container in worker.running_containers():
-            stats = self._sampler.sample(container, now)
+        for obs in bus.observe():
+            stats = self._sampler.sample(obs)
             if stats is not None and stats.eval_value is not None:
-                evalfn = getattr(container.job, "evalfn", None)
+                evalfn = getattr(obs.container.job, "evalfn", None)
                 value = (
                     evalfn.normalized(stats.eval_value)
                     if evalfn is not None
                     else stats.eval_value
                 )
                 self._tracker.observe(
-                    container.cid, now, value, stats.mean_usage
+                    obs.cid, now, value, stats.mean_usage
                 )
-            sample = self._tracker.history(container.cid).latest()
+            sample = self._tracker.history(obs.cid).latest()
             if sample is not None:
-                rates[container.cid] = sample.progress
+                rates[obs.cid] = sample.progress
         return rates

@@ -33,6 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.contention import ContentionModel
+from repro.cluster.obsbus import ObservationBus
 from repro.cluster.pool import ContainerPool
 from repro.containers.allocator import AllocationMode, CpuAllocator
 from repro.containers.container import Container, Workload
@@ -120,10 +121,20 @@ class Worker:
         self._allocs = np.zeros(0, dtype=np.float64)
         self._exit_handles: dict[int, EventHandle] = {}
         self._in_batch = False
-        #: Cached (footprint objects, per-resource arrays) for the active
-        #: set; invalidated whenever a footprint object changes identity.
-        self._fp_objs: list[ResourceSpec] | None = None
-        self._fp_arrays: tuple[np.ndarray, ...] | None = None
+        #: Monotonic state-version, bumped by every reallocation (the
+        #: terminal step of every externally visible mutation).  The
+        #: observation bus keys its per-instant cache on it.
+        self.version = 0
+        self._last_poke: tuple[float, int] | None = None
+        #: The shared observation fan-out for this worker's containers.
+        self.obsbus = ObservationBus(self)
+        #: Cached footprint state (objects, per-resource arrays, resident
+        #: memory) for the active set, keyed on the runtime's table/limit
+        #: version *and* re-verified by footprint object identity, so a
+        #: workload swapping its footprint between settles is picked up
+        #: exactly like the historical per-container reads.
+        self._fp_cache: tuple | None = None
+        self._limits_cache: tuple | None = None
         #: Hooks invoked after a container exits: f(container).
         self.exit_hooks: list = []
         #: Hooks invoked after a container launches: f(container).
@@ -197,9 +208,17 @@ class Worker:
 
         Called by metric samplers; under non-zero jitter this is also the
         point where OS-scheduler noise is re-sampled (DESIGN.md §2).
+        Same-instant pokes are **coalesced**: a second poke at the same
+        timestamp with no intervening state change is a no-op, so stacked
+        samplers re-balance (and re-draw jitter) once per instant, not
+        once per sampler.
         """
         self.settle()
+        key = (self.sim.now, self.version)
+        if key == self._last_poke:
+            return
         self._reallocate()
+        self._last_poke = (self.sim.now, self.version)
 
     # -- migration ---------------------------------------------------------------
 
@@ -296,11 +315,12 @@ class Worker:
             return
         active = self._active
         if active:
-            footprints = [c.job.footprint for c in active]
-            eff = self.contention.efficiency(
-                len(active), float(sum(fp.memory for fp in footprints))
-            )
-            arrays = self._footprint_arrays(footprints)
+            arrays, mem = self._footprint_state()
+            if mem is None:  # dynamic footprints: re-read every settle
+                mem = float(
+                    sum(c.job.footprint.memory for c in active)
+                )
+            eff = self.contention.efficiency(len(active), mem)
             if arrays is not None:
                 demands, mems, blkios, netios = arrays
                 allocs = self._allocs
@@ -316,9 +336,9 @@ class Worker:
                 contrib[:, 1] = mems * dt
                 contrib[:, 2] = blkios * scales * dt
                 contrib[:, 3] = netios * scales * dt
-                for i, container in enumerate(active):
-                    container.job.advance(work[i])
-                    container.cgroup.settle_add(dt, contrib[i])
+                for container, w, row in zip(active, work.tolist(), contrib):
+                    container.job.advance(w)
+                    container.cgroup.settle_add(dt, row)
             else:
                 # Fallback for exotic Workload implementations whose
                 # footprint is not a plain ResourceSpec (it may override
@@ -329,61 +349,99 @@ class Worker:
                     container.cgroup.checkpoint()
         self._last_settle = now
 
-    def _footprint_arrays(
-        self, footprints: list[ResourceSpec]
-    ) -> tuple[np.ndarray, ...] | None:
-        """Per-resource arrays for the active set, cached between settles.
+    def _footprint_state(
+        self,
+    ) -> tuple[tuple[np.ndarray, ...] | None, float | None]:
+        """``(per-resource arrays, resident memory)`` for the active set.
 
-        Returns ``None`` when any footprint is not a plain
-        :class:`ResourceSpec` (settlement then uses the scalar fallback).
-        The cache is keyed on object identity, so a workload swapping its
-        footprint between settles is picked up exactly like the historical
-        per-container reads.
+        Arrays are ``None`` when any footprint is not a plain
+        :class:`ResourceSpec` (settlement then uses the scalar fallback,
+        which re-reads each footprint on every settle; memory is also
+        ``None`` and recomputed fresh, so dynamic footprints stay
+        supported).  Cached per runtime table version *and* re-verified
+        against footprint object identity on every hit, preserving the
+        historical contract that a workload swapping its footprint
+        between settles is picked up immediately.
         """
-        cached = self._fp_objs
+        active = self._active
+        rv = self.runtime.version
+        cached = self._fp_cache
         if (
             cached is not None
-            and len(cached) == len(footprints)
-            and all(a is b for a, b in zip(cached, footprints))
+            and cached[0] == rv
+            and len(cached[1]) == len(active)
         ):
-            return self._fp_arrays
+            for fp, c in zip(cached[1], active):
+                if fp is not c.job.footprint:
+                    break
+            else:
+                return cached[2], cached[3]
+        footprints = [c.job.footprint for c in active]
         for fp in footprints:
             if type(fp) is not ResourceSpec:
-                self._fp_objs = None
-                self._fp_arrays = None
-                return None
-        self._fp_objs = footprints
-        self._fp_arrays = (
+                self._fp_cache = (rv, footprints, None, None)
+                return None, None
+        arrays = (
             np.array([fp.cpu_demand for fp in footprints], dtype=np.float64),
             np.array([fp.memory for fp in footprints], dtype=np.float64),
             np.array([fp.blkio for fp in footprints], dtype=np.float64),
             np.array([fp.netio for fp in footprints], dtype=np.float64),
         )
-        return self._fp_arrays
+        mem = float(sum(fp.memory for fp in footprints))
+        self._fp_cache = (rv, footprints, arrays, mem)
+        return arrays, mem
 
     def _reallocate(self) -> None:
         """Recompute CPU shares for the current pool and reschedule exits."""
+        self.version += 1
         running = self.runtime.running()
         self._active = running
         if not running:
             self._allocs = np.zeros(0, dtype=np.float64)
             self._cancel_all_exits()
             return
-        limits = np.array([c.limits.cpu for c in running], dtype=np.float64)
-        demands = np.array([c.demand() for c in running], dtype=np.float64)
+        rv = self.runtime.version
+        cached = self._limits_cache
+        if cached is not None and cached[0] == rv:
+            _, limits, amp_demand, amp_weight = cached
+        else:
+            limits = np.array([c.limits.cpu for c in running], dtype=np.float64)
+            limits.flags.writeable = False
+            # Jitter amplitudes are pure functions of the limit vector,
+            # so they ride the same cache (None ⇒ no draw at all, the
+            # ideal-contention replay contract).
+            amp_demand = self.contention.demand_amplitude(limits)
+            amp_weight = self.contention.weight_amplitude(limits)
+            self._limits_cache = (rv, limits, amp_demand, amp_weight)
+        arrays, mem = self._footprint_state()
+        if arrays is not None:
+            demands = arrays[0]
+        else:
+            demands = np.array([c.demand() for c in running], dtype=np.float64)
         # Two jitter channels, both limit-sensitive (free competition is
         # noisier): demand noise models throughput wobble of the training
         # loop; weight noise models the kernel's imperfect instantaneous
         # fair sharing (the Fig. 16 jitter NA exhibits).
-        demand_noise = self.contention.demand_noise(self._rng, limits)
-        demands = np.clip(demands * demand_noise, 1e-3, 1.0)
-        weights = self.contention.weight_noise(self._rng, limits)
+        rng = self._rng
+        if amp_demand is not None:
+            demand_noise = self.contention.demand_noise(
+                rng, limits, amp_demand
+            )
+            demands = np.minimum(np.maximum(demands * demand_noise, 1e-3), 1.0)
+        else:
+            # Zero amplitude draws nothing (ideal-contention replay
+            # contract); multiplying by all-ones noise is the identity.
+            demands = np.minimum(np.maximum(demands, 1e-3), 1.0)
+        if amp_weight is not None:
+            weights = self.contention.weight_noise(rng, limits, amp_weight)
+        else:
+            weights = None
         self._allocs = self.allocator.allocate(
             self.capacity, limits, demands, weights
         )
-        for container, alloc in zip(running, self._allocs):
-            container.current_alloc = float(alloc)
-        self._reschedule_exits()
+        for container, alloc in zip(running, self._allocs.tolist()):
+            container.current_alloc = alloc
+        self._reschedule_exits(mem)
 
     def _cancel_all_exits(self) -> None:
         if self._exit_handles:
@@ -392,25 +450,33 @@ class Worker:
                 cancel(handle)
             self._exit_handles.clear()
 
-    def _reschedule_exits(self) -> None:
+    def _reschedule_exits(self, mem: float | None = None) -> None:
         """Project each running job's finish time and (re)schedule its exit.
 
         Incremental: projections are keyed by cid and an outstanding exit
         event is kept whenever the recomputed finish time matches it
         (within :attr:`reschedule_tolerance`, default exact), so a
         reallocation that leaves some containers' rates unchanged touches
-        only the projections that actually moved.
+        only the projections that actually moved.  ``mem`` lets the
+        caller pass an already-verified resident-memory total.
         """
         active = self._active
         handles = self._exit_handles
         if not active:
             self._cancel_all_exits()
             return
-        eff = self.contention.efficiency(len(active), self.memory_used())
+        if mem is None:
+            mem = self.memory_used()
+        eff = self.contention.efficiency(len(active), mem)
         now = self.sim.now
         tol = self.reschedule_tolerance
-        allocs = self._allocs
-        schedule = self.sim.schedule
+        allocs = self._allocs.tolist()
+        # Hot path: exits are (re)scheduled on every reallocation of a
+        # jittered pool, so events are pushed straight onto the queue —
+        # a projected finish ``now + remaining/rate`` can never lie in
+        # the past, making Simulator.schedule's guard pure overhead here.
+        push = self.sim.queue.push
+        on_exit = self._on_exit_event
         cancel = self.sim.cancel
         seen: set[int] = set()
         for i, container in enumerate(active):
@@ -430,12 +496,14 @@ class Worker:
                 if delta == 0.0 or (tol > 0.0 and abs(delta) <= tol):
                     continue  # projection unchanged: keep the event
                 cancel(old)
-            handles[cid] = schedule(
-                t_finish,
-                self._on_exit_event,
-                kind=EventKind.CONTAINER_EXIT,
-                priority=PRIORITY_EXIT,
-                payload=cid,
+            handles[cid] = push(
+                Event(
+                    t_finish,
+                    EventKind.CONTAINER_EXIT,
+                    on_exit,
+                    PRIORITY_EXIT,
+                    cid,
+                )
             )
         if len(handles) > len(seen):
             for cid in [c for c in handles if c not in seen]:
@@ -505,9 +573,10 @@ class Worker:
         model converts the overcommit into a thrashing penalty when
         ``swap_penalty`` is enabled.
         """
-        return float(
-            sum(c.job.footprint.memory for c in self._active)
-        )
+        _, mem = self._footprint_state()
+        if mem is None:  # dynamic (non-ResourceSpec) footprints: re-read
+            return float(sum(c.job.footprint.memory for c in self._active))
+        return mem
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

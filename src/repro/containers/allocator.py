@@ -26,7 +26,15 @@ phase 2 and models ``--cpus``-style strict ceilings — used by the ablation
 benchmarks to show the capacity soft limits reclaim.
 
 Both phases run in vectorized numpy: the water-fill is the standard
-sort-then-progressive-fill algorithm, O(n log n) per call.
+sort-then-progressive-fill algorithm, O(n log n) per call.  For the pool
+sizes one worker actually hosts (a handful to a few dozen containers)
+the ~25 numpy-call constant factor dominates the arithmetic, so a scalar
+fast path handles ``n <= _SCALAR_MAX`` with **the exact same operations
+in the same order** — element-wise IEEE arithmetic is reproduced
+literally, and the two reductions whose result feeds back into the
+arithmetic (``alloc.sum()``) are delegated to numpy on the assembled
+array so even pairwise-summation order matches.  A property test pins
+bit-identical equality of the two paths.
 """
 
 from __future__ import annotations
@@ -38,6 +46,11 @@ import numpy as np
 from repro.errors import AllocationError
 
 __all__ = ["AllocationMode", "CpuAllocator", "water_fill"]
+
+
+#: Largest pool the scalar water-fill fast path handles; beyond it the
+#: vectorized numpy formulation wins.
+_SCALAR_MAX = 64
 
 
 class AllocationMode(enum.Enum):
@@ -154,6 +167,85 @@ def water_fill(
     return alloc
 
 
+def _water_fill_scalar(
+    capacity: float,
+    ceilings: list[float],
+    weights: list[float] | None,
+) -> list[float]:
+    """Scalar replica of :func:`water_fill` for small pools.
+
+    Every element-wise operation, comparison threshold and division is
+    performed in the same order as the vectorized formulation, and the
+    two whole-array sums whose values feed back into the arithmetic are
+    delegated to ``np.sum`` on the assembled array, so results are
+    **bit-identical** (pinned by a property test).  Callers guarantee
+    ``len(ceilings) >= 1`` and pre-validated inputs shapes.
+    """
+    n = len(ceilings)
+    if capacity < 0:
+        raise AllocationError(f"negative capacity {capacity!r}")
+    if min(ceilings) < -1e-12:
+        raise AllocationError("negative ceiling in water_fill")
+    ceilings = [c if c > 0.0 else 0.0 for c in ceilings]
+
+    if weights is None:
+        weights = [1.0] * n
+    else:
+        if len(weights) != n:
+            raise AllocationError("weights and ceilings shape mismatch")
+        if min(weights) <= 0:
+            raise AllocationError("weights must be strictly positive")
+
+    if capacity == 0.0:
+        return [0.0] * n
+
+    levels = [c / w for c, w in zip(ceilings, weights)]
+    order = sorted(range(n), key=levels.__getitem__)  # stable, like argsort
+    c_sorted = [ceilings[i] for i in order]
+    w_sorted = [weights[i] for i in order]
+
+    # Sequential prefix sums — np.cumsum accumulates left to right, so a
+    # running Python sum reproduces it exactly.
+    csum_c = [0.0] * (n + 1)
+    csum_w = [0.0] * (n + 1)
+    acc_c = acc_w = 0.0
+    for i in range(n):
+        acc_c += c_sorted[i]
+        acc_w += w_sorted[i]
+        csum_c[i + 1] = acc_c
+        csum_w[i + 1] = acc_w
+    total_w = csum_w[n]
+
+    k = n
+    for i in range(n):
+        remaining_w = total_w - csum_w[i]
+        if remaining_w > 0:
+            candidate = (capacity - csum_c[i]) / remaining_w
+        else:
+            candidate = np.inf
+        if not candidate >= levels[order[i]] - 1e-15:
+            k = i
+            break
+
+    alloc_sorted = c_sorted[:k]
+    if k < n:
+        lam = max(0.0, (capacity - csum_c[k]) / (total_w - csum_w[k]))
+        alloc_sorted += [min(lam * w, c) for w, c in zip(w_sorted[k:], c_sorted[k:])]
+
+    alloc = [0.0] * n
+    for i, a in zip(order, alloc_sorted):
+        alloc[i] = a
+    # Numeric hygiene: clamp and never exceed capacity (sum via numpy on
+    # the assembled array keeps pairwise-summation order identical).
+    alloc = [min(a if a > 0.0 else 0.0, c) for a, c in zip(alloc, ceilings)]
+    total = float(np.sum(np.array(alloc, dtype=np.float64)))
+    excess = total - capacity
+    if excess > 1e-9:
+        factor = capacity / total
+        alloc = [a * factor for a in alloc]
+    return alloc
+
+
 class CpuAllocator:
     """Stateless CPU allocation policy for one worker.
 
@@ -204,6 +296,8 @@ class CpuAllocator:
         n = limits.shape[0]
         if n == 0:
             return np.zeros(0, dtype=np.float64)
+        if n <= _SCALAR_MAX:
+            return self._allocate_scalar(capacity, limits, demands, weights)
         if limits.min() <= 0 or limits.max() > 1.0 + 1e-12:
             raise AllocationError(f"limits must lie in (0, 1]: {limits!r}")
         if demands.min() < 0:
@@ -221,3 +315,44 @@ class CpuAllocator:
                     alloc = alloc + water_fill(spare, residual)
 
         return np.minimum(alloc, demand_abs)
+
+    def _allocate_scalar(
+        self,
+        capacity: float,
+        limits: np.ndarray,
+        demands: np.ndarray,
+        weights: np.ndarray | None,
+    ) -> np.ndarray:
+        """Scalar fast path of :meth:`allocate` (small pools).
+
+        Same operations in the same order as the vectorized formulation
+        — see :func:`_water_fill_scalar` — so allocations are
+        bit-identical; only the constant factor changes.
+        """
+        lim = limits.tolist()
+        dem = demands.tolist()
+        if min(lim) <= 0 or max(lim) > 1.0 + 1e-12:
+            raise AllocationError(f"limits must lie in (0, 1]: {limits!r}")
+        if min(dem) < 0:
+            raise AllocationError("demands must be non-negative")
+
+        demand_abs = [min(d, 1.0) * capacity for d in dem]
+        ceil = [min(li * capacity, da) for li, da in zip(lim, demand_abs)]
+        wts = weights.tolist() if weights is not None else None
+        alloc = _water_fill_scalar(capacity, ceil, wts)
+
+        if self.mode is AllocationMode.SOFT:
+            spare = capacity - float(np.sum(np.array(alloc, dtype=np.float64)))
+            if spare > 1e-12:
+                residual = [
+                    r if (r := da - a) > 0.0 else 0.0
+                    for da, a in zip(demand_abs, alloc)
+                ]
+                if float(np.sum(np.array(residual, dtype=np.float64))) > 1e-12:
+                    extra = _water_fill_scalar(spare, residual, None)
+                    alloc = [a + e for a, e in zip(alloc, extra)]
+
+        return np.array(
+            [min(a, da) for a, da in zip(alloc, demand_abs)],
+            dtype=np.float64,
+        )

@@ -6,11 +6,32 @@ Docker exposes per-container usage through the cgroup filesystem
 :class:`CgroupAccount` is the simulated equivalent: cumulative counters
 advanced analytically whenever the worker settles an interval of constant
 allocation.
+
+Storage layout
+--------------
+Checkpoint history lives in two growable **contiguous numpy buffers** —
+``times`` (shape ``(cap,)``) and ``values`` (shape ``(cap, 4)``) — with a
+live window ``[lo, n)``.  Appends are amortized O(1) (capacity doubling),
+lookups are ``np.searchsorted`` on the contiguous times slice, and
+**pruning** (:meth:`prune_before`) just advances ``lo``; dead rows are
+reclaimed on the next grow.  The per-element arithmetic of
+:meth:`_integral_at` is unchanged from the historical parallel-list
+implementation, so interpolated window queries are bit-identical.
+
+Observation cache
+-----------------
+The observation bus (:mod:`repro.cluster.obsbus`) funnels every
+observer's window queries through :meth:`window_mean_cached`, which
+memoizes integral snapshots by exact query time: at a sampling tick the
+snapshot "integral at *now*" is computed once and every subscriber's
+*next* window reuses it as its start point, so N subscribers cost one
+uncached query per container per tick (:attr:`window_queries` counts
+them, for tests and benches).  Memo entries below the prune floor are
+evicted with the checkpoints they summarize.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +40,13 @@ from repro.containers.spec import ResourceType, ResourceVector
 from repro.errors import ContainerError
 
 __all__ = ["CgroupAccount", "UsageWindow"]
+
+#: Initial checkpoint-buffer capacity (doubles as needed).
+_INITIAL_CAP = 16
+
+#: Snapshot-memo entries beyond which :meth:`window_mean_cached` resets
+#: the memo (pruning normally evicts; this bounds unpruned runs).
+_MEMO_CAP = 512
 
 
 @dataclass(frozen=True)
@@ -49,10 +77,18 @@ class CgroupAccount:
         self.last_update = float(created_at)
         # Integral of usage dt per resource, ResourceType.ordered() order.
         self._integral = np.zeros(4, dtype=np.float64)
-        # Checkpoint history for window queries, stored as parallel lists
-        # so lookups can bisect the times without rebuilding an array.
-        self._cp_times: list[float] = [self.created_at]
-        self._cp_values: list[np.ndarray] = [self._integral.copy()]
+        # Contiguous checkpoint buffers; live entries are [lo, n).
+        self._cp_t = np.empty(_INITIAL_CAP, dtype=np.float64)
+        self._cp_v = np.empty((_INITIAL_CAP, 4), dtype=np.float64)
+        self._cp_t[0] = self.last_update
+        self._cp_v[0] = 0.0
+        self._lo = 0
+        self._n = 1
+        self._pruned = False
+        # time → immutable integral snapshot, shared by all observers.
+        self._memo: dict[float, np.ndarray] = {}
+        #: Uncached integral computations (test/bench instrumentation).
+        self.window_queries = 0
 
     # -- accumulation ------------------------------------------------------
 
@@ -76,13 +112,76 @@ class CgroupAccount:
         """
         self._integral += contrib
         self.last_update += dt
-        self._cp_times.append(self.last_update)
-        self._cp_values.append(self._integral.copy())
+        n = self._n
+        if n == self._cp_t.shape[0]:
+            self._grow()
+            n = self._n
+        self._cp_t[n] = self.last_update
+        self._cp_v[n] = self._integral
+        self._n = n + 1
 
     def checkpoint(self) -> None:
         """Record the current counters for later window queries."""
-        self._cp_times.append(self.last_update)
-        self._cp_values.append(self._integral.copy())
+        n = self._n
+        if n == self._cp_t.shape[0]:
+            self._grow()
+            n = self._n
+        self._cp_t[n] = self.last_update
+        self._cp_v[n] = self._integral
+        self._n = n + 1
+
+    def _grow(self) -> None:
+        """Make room for one more checkpoint (compact or double)."""
+        lo, n = self._lo, self._n
+        live = n - lo
+        if lo >= live and lo >= _INITIAL_CAP:
+            # More dead rows than live ones: compact in place.
+            self._cp_t[:live] = self._cp_t[lo:n]
+            self._cp_v[:live] = self._cp_v[lo:n]
+        else:
+            cap = max(_INITIAL_CAP, 2 * live)
+            new_t = np.empty(cap, dtype=np.float64)
+            new_v = np.empty((cap, 4), dtype=np.float64)
+            new_t[:live] = self._cp_t[lo:n]
+            new_v[:live] = self._cp_v[lo:n]
+            self._cp_t = new_t
+            self._cp_v = new_v
+        self._lo = 0
+        self._n = live
+
+    # -- pruning -----------------------------------------------------------
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Live checkpoints currently retained."""
+        return self._n - self._lo
+
+    @property
+    def history_floor(self) -> float:
+        """Earliest time still answerable by :meth:`_integral_at`."""
+        return float(self._cp_t[self._lo])
+
+    def prune_before(self, t: float) -> int:
+        """Drop checkpoints no window query will ever need again.
+
+        Keeps the newest checkpoint at or before *t* (so windows starting
+        exactly at *t* still resolve) and everything after it.  Queries
+        strictly below the new floor raise :class:`ContainerError`
+        afterwards — better a loud error than silently interpolating
+        from truncated history.  Returns the number of rows pruned.
+        """
+        lo, n = self._lo, self._n
+        if t <= self._cp_t[lo]:
+            return 0
+        idx = lo + int(np.searchsorted(self._cp_t[lo:n], t, side="right")) - 1
+        if idx <= lo:
+            return 0
+        self._lo = idx
+        self._pruned = True
+        if self._memo:
+            floor = self._cp_t[idx]
+            self._memo = {k: v for k, v in self._memo.items() if k >= floor}
+        return idx - lo
 
     # -- queries -----------------------------------------------------------
 
@@ -116,26 +215,72 @@ class CgroupAccount:
         """Convenience wrapper returning a :class:`UsageWindow`."""
         return UsageWindow(t_start, t_end, self.mean_usage_since(t_start, t_end))
 
+    def window_mean_cached(self, t_start: float, t_end: float) -> np.ndarray:
+        """Mean-usage row over ``[t_start, t_end]`` via the snapshot memo.
+
+        The observation-bus hot path: identical arithmetic to
+        :meth:`mean_usage_since`, but integral snapshots are memoized by
+        exact query time so concurrent observers (and each observer's
+        next window, whose start is this window's end) share one
+        computation.  Returns the raw 4-vector; callers wrap it in a
+        :class:`~repro.containers.spec.ResourceVector` as needed.
+        """
+        if t_end <= t_start:
+            raise ContainerError(
+                f"empty usage window [{t_start!r}, {t_end!r}]"
+            )
+        memo = self._memo
+        if len(memo) > _MEMO_CAP:
+            # Without pruning (e.g. rebalance runs keep full history) the
+            # memo would otherwise grow one snapshot per tick for the
+            # whole run.  A deterministic reset is safe: every entry can
+            # be recomputed from the (unpruned-above-floor) checkpoints.
+            memo.clear()
+        start = memo.get(t_start)
+        if start is None:
+            start = self._integral_at(t_start)
+            start.flags.writeable = False
+            memo[t_start] = start
+        end = memo.get(t_end)
+        if end is None:
+            end = self._integral_at(t_end)
+            end.flags.writeable = False
+            memo[t_end] = end
+        return (end - start) / (t_end - t_start)
+
     def _integral_at(self, t: float) -> np.ndarray:
-        """Counter values at time *t* (interpolating between checkpoints)."""
-        times = self._cp_times
-        if t <= times[0]:
-            return self._cp_values[0]
+        """Counter values at time *t* (interpolating between checkpoints).
+
+        Always returns a **fresh array** the caller owns — never a view
+        of the live counters or the checkpoint buffers, so mutating the
+        result cannot corrupt accounting.
+        """
+        self.window_queries += 1
+        lo, n = self._lo, self._n
+        times = self._cp_t
+        if t <= times[lo]:
+            if self._pruned and t < times[lo]:
+                raise ContainerError(
+                    f"window start {t!r} predates pruned history "
+                    f"(floor {float(times[lo])!r})"
+                )
+            return self._cp_v[lo].copy()
         if t >= self.last_update:
-            return self._integral
-        idx = bisect_right(times, t) - 1
-        t0, v0 = times[idx], self._cp_values[idx]
-        if idx + 1 < len(times):
-            t1, v1 = times[idx + 1], self._cp_values[idx + 1]
+            return self._integral.copy()
+        idx = lo + int(np.searchsorted(times[lo:n], t, side="right")) - 1
+        t0, v0 = times[idx], self._cp_v[idx]
+        if idx + 1 < n:
+            t1, v1 = times[idx + 1], self._cp_v[idx + 1]
         else:
             t1, v1 = self.last_update, self._integral
         if t1 <= t0:
-            return v1
+            return v1.copy()
         frac = (t - t0) / (t1 - t0)
         return v0 + (v1 - v0) * frac
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CgroupAccount(cpu_s={self.cpu_seconds():.3f}, "
-            f"updated={self.last_update:.3f})"
+            f"updated={self.last_update:.3f}, "
+            f"checkpoints={self.checkpoint_count})"
         )

@@ -36,6 +36,12 @@ class ContainerRuntime:
         self._sampler = StatsSampler()
         #: Observers notified on lifecycle changes: (event, container).
         self._listeners: list[Callable[[str, Container], None]] = []
+        #: Monotonic table/limit version; bumped on any membership or
+        #: limit change, keying the ``ps`` caches and the worker's
+        #: allocation-input caches.
+        self.version = 0
+        self._ps_cache: tuple[int, list[Container]] | None = None
+        self._ps_all_cache: tuple[int, list[Container]] | None = None
 
     # -- daemon API ----------------------------------------------------------
 
@@ -51,6 +57,7 @@ class ContainerRuntime:
         container = Container(job, name=name, image=image, created_at=now)
         container.start(now)
         self._containers[container.cid] = container
+        self.version += 1
         self._notify("run", container)
         return container
 
@@ -83,6 +90,7 @@ class ContainerRuntime:
                 ResourceType.BLKIO, blkio_weight, time=now
             )
         if changed:
+            self.version += 1
             self._notify("update", container)
         return changed
 
@@ -91,11 +99,28 @@ class ContainerRuntime:
         return self._sampler.sample(self.get(cid), self._clock())
 
     def ps(self, *, all_states: bool = False) -> list[Container]:
-        """``docker ps`` — RUNNING containers (or all with ``all_states``)."""
-        containers = sorted(self._containers.values(), key=lambda c: c.cid)
+        """``docker ps`` — RUNNING containers (or all with ``all_states``).
+
+        The returned list is cached per table version (membership and
+        state changes invalidate it); treat it as read-only.
+        """
         if all_states:
+            cached = self._ps_all_cache
+            if cached is not None and cached[0] == self.version:
+                return cached[1]
+            containers = sorted(self._containers.values(), key=lambda c: c.cid)
+            self._ps_all_cache = (self.version, containers)
             return containers
-        return [c for c in containers if c.state is ContainerState.RUNNING]
+        cached = self._ps_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        containers = [
+            c
+            for c in sorted(self._containers.values(), key=lambda c: c.cid)
+            if c.state is ContainerState.RUNNING
+        ]
+        self._ps_cache = (self.version, containers)
+        return containers
 
     def remove(self, cid: int) -> Container:
         """``docker rm`` — drop an exited container from the table."""
@@ -106,6 +131,7 @@ class ContainerRuntime:
             )
         del self._containers[cid]
         self._sampler.forget(cid)
+        self.version += 1
         self._notify("remove", container)
         return container
 
@@ -123,6 +149,7 @@ class ContainerRuntime:
             )
         del self._containers[cid]
         self._sampler.forget(cid)
+        self.version += 1
         self._notify("release", container)
         return container
 
@@ -137,6 +164,7 @@ class ContainerRuntime:
                 f"container {container.name} is already on this daemon"
             )
         self._containers[container.cid] = container
+        self.version += 1
         self._notify("adopt", container)
         return container
 
@@ -153,6 +181,7 @@ class ContainerRuntime:
         """Transition a container to EXITED (called by the worker)."""
         container = self.get(cid)
         container.mark_exited(self._clock())
+        self.version += 1
         self._notify("exit", container)
         return container
 

@@ -61,15 +61,23 @@ class ResourceVector:
 
     @classmethod
     def from_array(cls, arr: np.ndarray) -> "ResourceVector":
-        """Inverse of :meth:`as_array`."""
+        """Inverse of :meth:`as_array`.
+
+        Hot path (one call per container per sample): fields are written
+        through ``__dict__`` to skip the frozen-dataclass
+        ``object.__setattr__`` round-trips; the resulting instance is an
+        ordinary (immutable) :class:`ResourceVector`.
+        """
         if arr.shape != (4,):
             raise ConfigError(f"resource array must have shape (4,), got {arr.shape}")
-        return cls(
+        self = object.__new__(cls)
+        self.__dict__.update(
             cpu=float(arr[0]),
             memory=float(arr[1]),
             blkio=float(arr[2]),
             netio=float(arr[3]),
         )
+        return self
 
     def get(self, resource: ResourceType) -> float:
         """Value along one resource dimension."""

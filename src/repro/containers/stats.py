@@ -9,30 +9,69 @@ job's log.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.containers.container import Container
 from repro.containers.spec import ResourceVector
 
 __all__ = ["ContainerStats", "StatsSampler"]
 
 
-@dataclass(frozen=True)
 class ContainerStats:
-    """One sampled observation of a running container."""
+    """One sampled observation of a running container.
 
-    time: float
-    cid: int
-    name: str
-    state: str
-    #: Mean usage since the previous sample (Eq. 2's ``R(t_i)``).
-    mean_usage: ResourceVector
-    #: Instantaneous CPU allocation at sampling time.
-    cpu_alloc: float
-    #: Current CPU limit.
-    cpu_limit: float
-    #: Evaluation-function reading ``E(t)`` (loss/accuracy), if available.
-    eval_value: float | None
+    A plain ``__slots__`` record (immutable by convention): one is
+    created per container per observer per sample tick, which makes
+    construction a measured hot path.
+
+    Attributes
+    ----------
+    time / cid / name / state:
+        Sample timestamp and container identity.
+    mean_usage:
+        Mean usage since the previous sample (Eq. 2's ``R(t_i)``).
+    cpu_alloc:
+        Instantaneous CPU allocation at sampling time.
+    cpu_limit:
+        Current CPU limit.
+    eval_value:
+        Evaluation-function reading ``E(t)`` (loss/accuracy), if available.
+    """
+
+    __slots__ = (
+        "time",
+        "cid",
+        "name",
+        "state",
+        "mean_usage",
+        "cpu_alloc",
+        "cpu_limit",
+        "eval_value",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        cid: int,
+        name: str,
+        state: str,
+        mean_usage: ResourceVector,
+        cpu_alloc: float,
+        cpu_limit: float,
+        eval_value: float | None,
+    ) -> None:
+        self.time = time
+        self.cid = cid
+        self.name = name
+        self.state = state
+        self.mean_usage = mean_usage
+        self.cpu_alloc = cpu_alloc
+        self.cpu_limit = cpu_limit
+        self.eval_value = eval_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContainerStats(t={self.time:.3f}, cid={self.cid}, "
+            f"name={self.name!r}, eval={self.eval_value!r})"
+        )
 
 
 class StatsSampler:
@@ -51,7 +90,13 @@ class StatsSampler:
         Returns ``None`` for a zero-length window (two samples at the same
         instant), mirroring how a real monitor would skip a duplicate poll.
         """
-        t_prev = self._last_sample.get(container.cid, container.created_at)
+        t_prev = self._last_sample.get(container.cid)
+        if t_prev is None:
+            # First sample: window from creation — or from the pruned
+            # history floor when the observation bus has already bounded
+            # this account's checkpoints (the floor equals the creation
+            # time on unpruned accounts, so behaviour is unchanged).
+            t_prev = container.cgroup.history_floor
         if time <= t_prev:
             return None
         mean = container.cgroup.mean_usage_since(t_prev, time)

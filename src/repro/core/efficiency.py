@@ -67,16 +67,36 @@ def growth_efficiency(p_score: float, usage: float) -> float:
     return p_score / usage
 
 
-@dataclass(frozen=True)
 class EfficiencySample:
-    """One monitor observation of one container."""
+    """One monitor observation of one container.
 
-    time: float
-    eval_value: float
-    #: Mean usage over (prev_time, time] for the tracked resource.
-    usage: float
-    progress: float
-    growth: float
+    A plain ``__slots__`` record (immutable by convention) — one is
+    created per complete Eq. 1 sample on the sampling hot path.
+    ``usage`` is the mean usage over ``(prev_time, time]`` for the
+    tracked resource.
+    """
+
+    __slots__ = ("time", "eval_value", "usage", "progress", "growth")
+
+    def __init__(
+        self,
+        time: float,
+        eval_value: float,
+        usage: float,
+        progress: float,
+        growth: float,
+    ) -> None:
+        self.time = time
+        self.eval_value = eval_value
+        self.usage = usage
+        self.progress = progress
+        self.growth = growth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EfficiencySample(t={self.time:.3f}, E={self.eval_value:.4g}, "
+            f"P={self.progress:.4g}, G={self.growth:.4g})"
+        )
 
 
 @dataclass
@@ -90,6 +110,12 @@ class EfficiencyHistory:
     _last_eval: float | None = None
     _last_time: float | None = None
 
+    def __post_init__(self) -> None:
+        # Attribute name of the tracked resource on a ResourceVector,
+        # resolved once (enum property access is measurable at sampling
+        # rate).
+        self._res_name = self.resource.value
+
     def observe(
         self,
         time: float,
@@ -102,21 +128,24 @@ class EfficiencyHistory:
         sample (Eq. 1 needs two points).  Readings at a non-increasing
         time are ignored.
         """
-        if self._last_time is not None and time <= self._last_time:
-            return None
-        if self._last_time is None:
+        last_time = self._last_time
+        if last_time is None:
             self._last_time = time
             self._last_eval = eval_value
             return None
-        dt = time - self._last_time
-        p = progress_score(self._last_eval, eval_value, dt)
-        usage = mean_usage.get(self.resource)
-        g = growth_efficiency(p, usage)
-        sample = EfficiencySample(
-            time=time, eval_value=eval_value, usage=usage, progress=p, growth=g
-        )
+        if time <= last_time:
+            return None
+        # Inline Eq. 1 / Eq. 2 — the validated forms live in
+        # progress_score / growth_efficiency; here dt > 0 and |ΔE| >= 0
+        # hold by construction.
+        dt = time - last_time
+        p = abs(eval_value - self._last_eval) / dt
+        usage = getattr(mean_usage, self._res_name)
+        g = p / usage if usage >= _USAGE_EPS else 0.0
+        sample = EfficiencySample(time, eval_value, usage, p, g)
         self.samples.append(sample)
-        self.peak_growth = max(self.peak_growth, g)
+        if g > self.peak_growth:
+            self.peak_growth = g
         self._last_time = time
         self._last_eval = eval_value
         return sample

@@ -127,19 +127,21 @@ class Executor:
             )
             if new_itval > self.itval:
                 self.backoffs += 1
-                self.sim.trace(
-                    "core.backoff",
-                    f"all containers completing; itval {self.itval:g} → "
-                    f"{new_itval:g}",
-                )
+                if self.sim.trace_enabled:
+                    self.sim.trace(
+                        "core.backoff",
+                        f"all containers completing; itval {self.itval:g} → "
+                        f"{new_itval:g}",
+                    )
             self.itval = new_itval
-        self.sim.trace(
-            "core.algorithm1",
-            f"run #{self.runs} ({reason}): "
-            f"{len(result.limit_updates)} updates, "
-            f"lists={ {k.value: v for k, v in self.lists.counts().items()} }",
-            updates=dict(result.limit_updates),
-        )
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "core.algorithm1",
+                f"run #{self.runs} ({reason}): "
+                f"{len(result.limit_updates)} updates, "
+                f"lists={ {k.value: v for k, v in self.lists.counts().items()} }",
+                updates=dict(result.limit_updates),
+            )
         return result
 
     # -- listeners ---------------------------------------------------------------------

@@ -6,9 +6,12 @@ different evaluation functions that are defined by the jobs themselves.
 Besides that, it collects the resource usage of each container."
 
 :class:`ContainerMonitor` samples every running container through the
-runtime's ``docker stats`` facade, feeds readings into the
+worker's :class:`~repro.cluster.obsbus.ObservationBus` — the shared
+``docker stats`` pass all observers read — feeds readings into the
 :class:`~repro.core.efficiency.GrowthTracker`, and hands the Executor a
-per-container :class:`Measurement` bundle.
+per-container :class:`Measurement` bundle.  The monitor's sampling
+*windows* stay private (a :class:`~repro.cluster.obsbus.BusSampler`),
+so its measurement intervals are untouched by other observers.
 """
 
 from __future__ import annotations
@@ -67,20 +70,22 @@ class ContainerMonitor:
     ) -> None:
         self.worker = worker
         self.tracker = GrowthTracker(resource)
+        self._sampler = worker.obsbus.sampler()
 
     def measure(self) -> list[Measurement]:
         """Sample every running container and return fresh measurements.
 
         Sampling settles the worker first (so cgroup counters include the
         interval just ended), exactly like ``docker stats`` observing the
-        kernel's up-to-date accounting.
+        kernel's up-to-date accounting; the settle, the ``E(t)`` reading
+        and the integral snapshots come from the shared observation-bus
+        pass for this instant.
         """
-        self.worker.settle()
-        now = self.worker.sim.now
         measurements: list[Measurement] = []
-        for container in self.worker.running_containers():
-            history = self.tracker.history(container.cid)
-            stats = self.worker.runtime.stats(container.cid)
+        for obs in self.worker.obsbus.observe():
+            now = obs.time
+            history = self.tracker.history(obs.cid)
+            stats = self._sampler.sample(obs)
             if stats is not None and stats.eval_value is not None:
                 history.observe(now, stats.eval_value, stats.mean_usage)
             elif not history.seeded:
@@ -88,16 +93,12 @@ class ContainerMonitor:
                 # its baseline E(t₀) immediately so the very next interval
                 # already yields a complete (two-point) Eq. 1 sample
                 # instead of burning a whole interval on the baseline.
-                try:
-                    baseline = container.job.eval_value()
-                except Exception:
-                    baseline = None
-                if baseline is not None:
-                    history.observe(now, baseline, ResourceVector())
+                if obs.eval_value is not None:
+                    history.observe(now, obs.eval_value, ResourceVector())
             measurements.append(
                 Measurement(
-                    cid=container.cid,
-                    name=container.name,
+                    cid=obs.cid,
+                    name=obs.name,
                     growth=history.latest_growth(),
                     relative_growth=history.relative_growth(),
                     n_samples=history.n_samples,

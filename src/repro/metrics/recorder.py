@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from repro.cluster.worker import Worker
 from repro.containers.container import Container
 from repro.containers.spec import ResourceType
-from repro.containers.stats import StatsSampler
 from repro.core.efficiency import GrowthTracker
 from repro.errors import MetricsError
 from repro.metrics.summary import CompletionRecord, RunSummary
@@ -69,7 +68,8 @@ class MetricsRecorder:
         self.traces: dict[int, ContainerTrace] = {}
         self.completions: list[CompletionRecord] = []
         self._tracker = GrowthTracker(resource)
-        self._sampler = StatsSampler()
+        self._sampler = worker.obsbus.sampler()
+        self._labels: dict[str, int] = {}
         self._handle = None
         self._started = False
 
@@ -108,23 +108,34 @@ class MetricsRecorder:
         self._schedule_sample()
 
     def sample_now(self) -> None:
-        """Take one sample of every running container immediately."""
+        """Take one sample of every running container immediately.
+
+        Sampling reads the worker's observation bus: the settle and the
+        per-container ``E(t)``/window snapshots are computed once per
+        instant and shared with every other observer (FlowCon's monitor,
+        the progress signal); only this recorder's sampling windows and
+        step series are private.
+        """
         self.worker.poke()
-        now = self.worker.sim.now
-        for container in self.worker.running_containers():
-            trace = self._trace_for(container)
-            stats = self._sampler.sample(container, now)
+        observe = self._tracker.observe
+        sample = self._sampler.sample
+        for obs in self.worker.obsbus.observe():
+            trace = self.traces.get(obs.cid)
+            if trace is None:
+                trace = self._trace_for(obs.container)
+            stats = sample(obs)
             if stats is None:
                 continue
+            now = obs.time
             trace.cpu_usage.append(now, stats.mean_usage.cpu)
             trace.cpu_limit.append(now, stats.cpu_limit)
             if stats.eval_value is not None:
                 trace.eval_value.append(now, stats.eval_value)
-                sample = self._tracker.observe(
-                    container.cid, now, stats.eval_value, stats.mean_usage
+                grown = observe(
+                    obs.cid, now, stats.eval_value, stats.mean_usage
                 )
-                if sample is not None:
-                    trace.growth.append(now, sample.growth)
+                if grown is not None:
+                    trace.growth.append(now, grown.growth)
 
     # -- hooks ------------------------------------------------------------------------
 
@@ -153,16 +164,19 @@ class MetricsRecorder:
                 cid=container.cid, label=container.name, image=container.image
             )
             self.traces[container.cid] = trace
+            # First trace wins the label (labels are unique per run; the
+            # index replaces the historical O(n) scan of trace_by_label).
+            self._labels.setdefault(container.name, container.cid)
         return trace
 
     # -- results -----------------------------------------------------------------------
 
     def trace_by_label(self, label: str) -> ContainerTrace:
-        """Trace for a job label (container name)."""
-        for trace in self.traces.values():
-            if trace.label == label:
-                return trace
-        raise MetricsError(f"no trace recorded for label {label!r}")
+        """Trace for a job label (container name), via the label index."""
+        cid = self._labels.get(label)
+        if cid is None:
+            raise MetricsError(f"no trace recorded for label {label!r}")
+        return self.traces[cid]
 
     def summary(self) -> RunSummary:
         """Completion-time summary for the whole run."""

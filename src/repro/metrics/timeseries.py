@@ -35,20 +35,21 @@ class StepSeries:
         latest observation at an instant wins, matching how settlement
         followed by reallocation updates state at one event time).
         """
+        t = float(time)
         last = self._last_t
         if last is not None:
-            if time < last - 1e-12:
+            if t < last - 1e-12:
                 raise MetricsError(
                     f"series {self.name!r}: non-monotonic time {time!r} "
                     f"after {last!r}"
                 )
-            if abs(time - last) <= 1e-12:
+            if abs(t - last) <= 1e-12:
                 self._values[-1] = float(value)
                 self._cache = None
                 return
-        self._times.append(float(time))
+        self._times.append(t)
         self._values.append(float(value))
-        self._last_t = float(time)
+        self._last_t = t
         self._cache = None
 
     # -- raw access --------------------------------------------------------------

@@ -79,16 +79,13 @@ class Simulator:
         Scheduling in the past raises :class:`SimulationError` — the system
         being modelled cannot react before it observes.
         """
-        if time < self.clock.now - 1e-9:
+        now = self.clock.now
+        if time < now - 1e-9:
             raise SimulationError(
-                f"cannot schedule at t={time!r} before now={self.clock.now!r}"
+                f"cannot schedule at t={time!r} before now={now!r}"
             )
         event = Event(
-            time=max(time, self.clock.now),
-            kind=kind,
-            callback=callback,
-            priority=priority,
-            payload=payload,
+            time if time >= now else now, kind, callback, priority, payload
         )
         return self.queue.push(event)
 

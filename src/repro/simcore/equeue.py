@@ -69,7 +69,9 @@ class EventQueue:
     def push(self, event: Event) -> EventHandle:
         """Schedule *event*, returning a cancellable handle."""
         handle = EventHandle(event)
-        heapq.heappush(self._heap, (event.sort_key(), handle))
+        heapq.heappush(
+            self._heap, ((event.time, event.priority, event.seq), handle)
+        )
         self._live += 1
         return handle
 

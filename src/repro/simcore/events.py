@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = ["EventKind", "Event", "EventCallback"]
@@ -44,9 +43,14 @@ class EventKind(enum.Enum):
     GENERIC = "generic"
 
 
-@dataclass(frozen=True, slots=True)
 class Event:
-    """A single scheduled occurrence.
+    """A single scheduled occurrence (immutable by convention).
+
+    A plain ``__slots__`` class rather than a dataclass: the simulation
+    creates one event per (re)scheduled exit projection, which makes
+    construction a measured hot path, and ``object.__setattr__``-based
+    frozen-dataclass initialization costs roughly twice a direct
+    ``__init__``.
 
     Parameters
     ----------
@@ -68,12 +72,23 @@ class Event:
         final tie-breaker giving a total deterministic order.
     """
 
-    time: float
-    kind: EventKind = EventKind.GENERIC
-    callback: EventCallback | None = None
-    priority: int = 0
-    payload: Any = None
-    seq: int = field(default_factory=lambda: next(_seq_counter))
+    __slots__ = ("time", "kind", "callback", "priority", "payload", "seq")
+
+    def __init__(
+        self,
+        time: float,
+        kind: EventKind = EventKind.GENERIC,
+        callback: EventCallback | None = None,
+        priority: int = 0,
+        payload: Any = None,
+        seq: int | None = None,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.callback = callback
+        self.priority = priority
+        self.payload = payload
+        self.seq = next(_seq_counter) if seq is None else seq
 
     def sort_key(self) -> tuple[float, int, int]:
         """Total-order key: ``(time, priority, seq)``."""

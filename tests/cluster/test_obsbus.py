@@ -1,0 +1,302 @@
+"""Tests for the per-worker observation bus.
+
+The contracts under test:
+
+* **Zero redundancy** — a sampling tick with several subscribers costs
+  exactly one settle and one uncached cgroup window query per container.
+* **Bit parity** — a :class:`BusSampler` reproduces the historical
+  private-:class:`StatsSampler` readings bit-for-bit, window for window.
+* **Bounded memory** — checkpoint pruning keeps per-container history
+  bounded by the longest live observation window without changing any
+  reading, is disabled whenever migration is possible, and turns
+  out-of-floor queries into loud errors.
+* **Poke coalescing** — stacked same-instant samplers re-balance once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.na import NAPolicy
+from repro.cluster.contention import ContentionModel
+from repro.cluster.manager import Manager
+from repro.cluster.obsbus import BusSampler
+from repro.cluster.worker import Worker
+from repro.config import SimulationConfig
+from repro.containers.stats import StatsSampler
+from repro.errors import ContainerError
+from repro.experiments.runner import run_cluster
+from repro.experiments.scenarios import two_hundred_job
+from repro.simcore.engine import Simulator
+from tests.conftest import make_linear_job
+
+
+def _stats_fields(stats):
+    return (
+        stats.time,
+        stats.cid,
+        stats.name,
+        stats.state,
+        stats.mean_usage,
+        stats.cpu_alloc,
+        stats.cpu_limit,
+        stats.eval_value,
+    )
+
+
+class TestZeroRedundancy:
+    def test_three_subscribers_one_settle_one_window_query(self, sim):
+        """A tick with 3 subscribers: 1 settle + 1 window query per container."""
+        worker = Worker(sim)  # default (jittered) contention
+        containers = [
+            worker.launch(make_linear_job(f"j{i}", total_work=500.0))
+            for i in range(3)
+        ]
+        subscribers = [worker.obsbus.sampler() for _ in range(3)]
+        worker.obsbus.prune = False  # keep query accounting untruncated
+
+        def tick(now: float):
+            sim.clock.advance_to(now)
+            worker.poke()
+            # Each subscriber observes independently, as the recorder,
+            # FlowCon monitor and progress observer would.
+            for sub in subscribers:
+                for obs in worker.obsbus.observe():
+                    sub.sample(obs)
+
+        tick(5.0)  # warm-up: seeds each account's snapshot memo
+        for c in containers:
+            c.cgroup.window_queries = 0
+        checkpoints = {
+            c.cid: c.cgroup.checkpoint_count for c in containers
+        }
+        passes = worker.obsbus.passes
+
+        for step in range(2, 6):
+            tick(5.0 * step)
+
+        for c in containers:
+            # One settle per tick ⇒ exactly one new checkpoint per tick.
+            assert c.cgroup.checkpoint_count - checkpoints[c.cid] == 4
+            # One uncached integral snapshot per tick, shared by all
+            # three subscribers' windows.
+            assert c.cgroup.window_queries == 4
+        assert worker.obsbus.passes - passes == 4
+
+    def test_same_instant_observe_hits_cache(self, sim):
+        worker = Worker(sim)
+        worker.launch(make_linear_job(total_work=100.0))
+        sim.clock.advance_to(3.0)
+        first = worker.obsbus.observe()
+        assert worker.obsbus.observe() is first  # no state change: cached
+
+    def test_eval_computed_once_per_instant(self, sim):
+        """E(t) survives a same-instant reallocation without re-evaluation."""
+        worker = Worker(sim)
+        container = worker.launch(make_linear_job(total_work=100.0))
+        sim.clock.advance_to(4.0)
+        calls = 0
+        orig = container.job.eval_value
+
+        def counting():
+            nonlocal calls
+            calls += 1
+            return orig()
+
+        container.job.eval_value = counting
+        worker.obsbus.observe()
+        assert calls == 1
+        worker.poke()  # same instant, new state version
+        worker.obsbus.observe()
+        assert calls == 1  # reused from the same-instant pass
+
+
+class TestBusSamplerParity:
+    def test_matches_private_stats_sampler_bitwise(self, sim):
+        """Bus readings equal the historical private-sampler readings."""
+        worker = Worker(sim)  # jittered: realistic windows
+        worker.obsbus.prune = False  # private sampler needs full history
+        for i in range(3):
+            worker.launch(make_linear_job(f"j{i}", total_work=400.0))
+        bus_sampler = BusSampler()
+        private = StatsSampler()
+        for step in range(1, 8):
+            now = 3.5 * step
+            sim.clock.advance_to(now)
+            worker.poke()
+            for obs in worker.obsbus.observe():
+                got = bus_sampler.sample(obs)
+                want = private.sample(obs.container, now)
+                if want is None:
+                    assert got is None
+                    continue
+                assert _stats_fields(got) == _stats_fields(want)
+
+    def test_zero_length_window_returns_none(self, sim):
+        worker = Worker(sim)
+        worker.launch(make_linear_job(total_work=50.0))
+        sampler = worker.obsbus.sampler()
+        sim.clock.advance_to(2.0)
+        [obs] = worker.obsbus.observe()
+        assert sampler.sample(obs) is not None
+        assert sampler.sample(obs) is None  # duplicate poll, same instant
+
+    def test_forget_reopens_window_from_creation(self, sim):
+        worker = Worker(sim)
+        c = worker.launch(make_linear_job(total_work=50.0))
+        sampler = worker.obsbus.sampler()
+        worker.obsbus.prune = False
+        sim.clock.advance_to(2.0)
+        [obs] = worker.obsbus.observe()
+        sampler.sample(obs)
+        sampler.forget(c.cid)
+        assert sampler.window_start(c.cid, c.created_at) == c.created_at
+
+
+class TestPruning:
+    def _drive(self, prune: bool, ticks: int = 120):
+        sim = Simulator(seed=11, trace=False)
+        worker = Worker(sim)
+        worker.obsbus.prune = prune
+        c = worker.launch(make_linear_job(total_work=10_000.0))
+        sampler = worker.obsbus.sampler()
+        means = []
+        for step in range(1, ticks + 1):
+            sim.clock.advance_to(2.0 * step)
+            worker.poke()
+            [obs] = worker.obsbus.observe()
+            stats = sampler.sample(obs)
+            means.append(stats.mean_usage)
+        return c, means
+
+    def test_bounded_history_and_identical_readings(self):
+        pruned, means_pruned = self._drive(prune=True)
+        full, means_full = self._drive(prune=False)
+        assert full.cgroup.checkpoint_count > 100  # grows with run length
+        assert pruned.cgroup.checkpoint_count <= 32  # bounded by window
+        assert means_pruned == means_full  # pruning never changes a reading
+
+    def test_query_below_pruned_floor_raises(self):
+        c, _ = self._drive(prune=True)
+        with pytest.raises(ContainerError):
+            c.cgroup.mean_usage_since(0.0, 1.0)
+
+    def test_runtime_stats_survives_pruning(self):
+        """Regression: the ``docker stats`` facade on a pruned account.
+
+        A fresh (unregistered) observer's first window clamps to the
+        pruned history floor instead of crashing on the creation-time
+        query the floor has outrun.
+        """
+        sim = Simulator(seed=5, trace=False)
+        worker = Worker(sim)
+        c = worker.launch(make_linear_job(total_work=10_000.0))
+        sampler = worker.obsbus.sampler()
+        for step in range(1, 60):
+            sim.clock.advance_to(2.0 * step)
+            worker.poke()
+            [obs] = worker.obsbus.observe()
+            sampler.sample(obs)
+        assert c.cgroup.history_floor > c.created_at  # pruning happened
+        stats = worker.runtime.stats(c.cid)  # must not raise
+        assert stats is not None
+        assert stats.mean_usage.cpu >= 0.0
+        # Late bus subscribers clamp the same way.
+        late = worker.obsbus.sampler()
+        [obs] = worker.obsbus.observe()
+        assert late.sample(obs) is not None
+
+    def test_unpruned_account_still_clamps_early_queries(self, sim):
+        worker = Worker(sim)
+        c = worker.launch(make_linear_job(total_work=50.0))
+        sim.clock.advance_to(5.0)
+        worker.poke()
+        # Historical behaviour: windows reaching before creation clamp.
+        mean = c.cgroup.mean_usage_since(-10.0, 5.0)
+        assert mean.cpu >= 0.0
+
+    def test_idle_subscriber_freezes_pruning_conservatively(self):
+        """A subscriber that stops sampling pins the floor at its windows.
+
+        The conservative contract: history a registered observer could
+        still legitimately window over (its next window starts at its
+        last sample; an unseen container's first window starts at
+        creation) is never pruned — an idle observer therefore degrades
+        to the historical keep-everything behaviour rather than ever
+        clamping another observer's first full-from-creation window.
+        """
+        sim = Simulator(seed=2, trace=False)
+        worker = Worker(sim)
+        active = worker.obsbus.sampler()  # recorder-like, samples always
+        idle = worker.obsbus.sampler()    # never samples at all
+        c = worker.launch(make_linear_job(total_work=10_000.0))
+        for step in range(1, 80):
+            sim.clock.advance_to(2.0 * step)
+            worker.poke()
+            for obs in worker.obsbus.observe():
+                active.sample(obs)
+        assert c.cgroup.history_floor == c.created_at  # pinned, unpruned
+        # The idle observer's first window still spans from creation.
+        [obs] = worker.obsbus.observe()
+        stats = idle.sample(obs)
+        assert stats is not None
+        assert stats.mean_usage.cpu > 0.0
+
+    def test_manager_disables_pruning_for_rebalance_runs(self):
+        sim = Simulator(seed=0, trace=False)
+        workers = [Worker(sim, name=f"w{i}", max_containers=4) for i in range(2)]
+        Manager(sim, workers, rebalance="migrate")
+        assert all(not w.obsbus.prune for w in workers)
+
+        sim2 = Simulator(seed=0, trace=False)
+        workers2 = [Worker(sim2, name=f"w{i}", max_containers=4) for i in range(2)]
+        Manager(sim2, workers2, rebalance="none")
+        assert all(w.obsbus.prune for w in workers2)
+
+    def test_two_hundred_job_checkpoints_stay_bounded(self):
+        """The Poisson stream must not grow cgroup history with run length."""
+        result = run_cluster(
+            two_hundred_job(seed=0),
+            NAPolicy,
+            SimulationConfig(seed=0, trace=False),
+            n_workers=8,
+            max_containers=4,
+        )
+        counts = [
+            c.cgroup.checkpoint_count
+            for w in result.workers
+            for c in w.runtime.all_containers()
+        ]
+        assert len(counts) == 200
+        assert max(counts) <= 64  # bounded, vs hundreds unpruned
+
+
+class TestPokeCoalescing:
+    def test_second_same_instant_poke_is_noop(self, sim):
+        worker = Worker(sim)  # jittered: a real re-balance would redraw
+        worker.launch(make_linear_job(total_work=100.0))
+        sim.clock.advance_to(1.0)
+        worker.poke()
+        version = worker.version
+        worker.poke()
+        assert worker.version == version  # coalesced
+
+    def test_state_change_defeats_coalescing(self, sim):
+        worker = Worker(sim)
+        worker.launch(make_linear_job("a", total_work=100.0))
+        sim.clock.advance_to(1.0)
+        worker.poke()
+        worker.launch(make_linear_job("b", total_work=100.0))
+        version = worker.version
+        worker.poke()
+        assert worker.version > version  # pool changed: re-balance runs
+
+    def test_later_poke_rebalances(self, sim):
+        worker = Worker(sim)
+        worker.launch(make_linear_job(total_work=100.0))
+        sim.clock.advance_to(1.0)
+        worker.poke()
+        version = worker.version
+        sim.clock.advance_to(2.0)
+        worker.poke()
+        assert worker.version > version

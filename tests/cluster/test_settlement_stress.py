@@ -147,9 +147,12 @@ class TestStarvation:
         ideal_worker.poke()
         assert c.cid not in ideal_worker._exit_handles
         assert len(sim.queue) == 0
-        # Allocation comes back: the exit is re-projected and fires.
+        # Allocation comes back (at a later instant — same-timestamp
+        # pokes with unchanged worker state are coalesced): the exit is
+        # re-projected and fires.
         ideal_worker.allocator.allocate = original
-        ideal_worker.poke()
+        sim.schedule(1.0, lambda e: ideal_worker.poke())
+        sim.run(until=1.0)
         assert c.cid in ideal_worker._exit_handles
         sim.run_until_empty()
         assert c.exited

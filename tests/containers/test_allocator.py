@@ -187,3 +187,73 @@ class TestCpuAllocator:
         else:
             expected = min(1.0, demands.sum())
             assert alloc.sum() == pytest.approx(expected, abs=1e-6)
+
+
+class TestScalarPathBitParity:
+    """The small-pool scalar fast path must be *bit-identical* to numpy.
+
+    Replay exactness of the whole simulator rests on this: the scalar
+    path is reached on every reallocation of every worker with at most
+    ``_SCALAR_MAX`` containers, i.e. essentially always.
+    """
+
+    def test_water_fill_scalar_matches_vectorized_fuzz(self):
+        from repro.containers.allocator import _water_fill_scalar, water_fill
+
+        rng = np.random.default_rng(7)
+        for trial in range(3000):
+            n = int(rng.integers(1, 12))
+            ceilings = rng.uniform(0, 1.2, n)
+            style = trial % 6
+            if style == 1:
+                ceilings[rng.integers(n)] = 0.0
+            if style == 2:
+                ceilings = np.round(ceilings, 2)  # force level ties
+            if style == 3:
+                ceilings[:] = 0.5  # all-equal levels
+            if style == 4:
+                ceilings[rng.integers(n)] = np.inf
+            weights = None if trial % 3 == 0 else rng.uniform(0.01, 2.0, n)
+            capacity = [0.0, 1.0, 0.25, 3.0, float(rng.uniform(0, 2))][
+                trial % 5
+            ]
+            ref = water_fill(capacity, ceilings, weights)
+            got = _water_fill_scalar(
+                capacity,
+                list(ceilings),
+                list(weights) if weights is not None else None,
+            )
+            assert ref.tolist() == got  # exact, not approx
+
+    def test_allocate_scalar_matches_vectorized_fuzz(self, monkeypatch):
+        import repro.containers.allocator as alloc_mod
+
+        rng = np.random.default_rng(13)
+        for mode in (AllocationMode.SOFT, AllocationMode.HARD):
+            scalar = CpuAllocator(mode)
+            vector = CpuAllocator(mode)
+            for trial in range(1500):
+                n = int(rng.integers(1, 12))
+                limits = rng.uniform(0.01, 1.0, n)
+                if trial % 4 == 0:
+                    limits[:] = 1.0
+                demands = np.minimum(
+                    np.maximum(rng.uniform(0, 1.2, n), 1e-3), 1.0
+                )
+                weights = (
+                    None if trial % 3 == 0 else rng.uniform(0.5, 1.5, n)
+                )
+                capacity = [1.0, 0.25, 4.0][trial % 3]
+                got = scalar.allocate(capacity, limits, demands, weights)
+                with monkeypatch.context() as m:
+                    m.setattr(alloc_mod, "_SCALAR_MAX", 0)
+                    ref = vector.allocate(capacity, limits, demands, weights)
+                assert ref.tolist() == got.tolist()  # exact, not approx
+
+    def test_scalar_path_validations_match(self):
+        with pytest.raises(AllocationError):
+            CpuAllocator().allocate(1.0, np.array([0.0]), np.array([0.5]))
+        with pytest.raises(AllocationError):
+            CpuAllocator().allocate(1.0, np.array([1.5]), np.array([0.5]))
+        with pytest.raises(AllocationError):
+            CpuAllocator().allocate(1.0, np.array([1.0]), np.array([-0.5]))

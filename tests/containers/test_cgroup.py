@@ -79,3 +79,67 @@ class TestWindows:
         window = acct.window_between(0.0, 8.0)
         assert window.duration == pytest.approx(8.0)
         assert window.mean.cpu == pytest.approx(0.5)
+
+
+class TestIntegralAliasing:
+    """Regression: ``_integral_at`` must never leak live internals.
+
+    The historical implementation returned ``_cp_values[0]`` / the live
+    ``_integral`` array by reference, so a caller mutating the result
+    corrupted the account's bookkeeping.
+    """
+
+    def _account(self) -> CgroupAccount:
+        acct = CgroupAccount()
+        acct.accumulate(10.0, ResourceVector(cpu=0.5))
+        acct.checkpoint()
+        acct.accumulate(10.0, ResourceVector(cpu=1.0))
+        acct.checkpoint()
+        return acct
+
+    def test_mutating_before_creation_result_is_harmless(self):
+        acct = self._account()
+        acct._integral_at(-5.0)[:] = 99.0  # first-checkpoint branch
+        assert acct.cpu_seconds() == pytest.approx(15.0)
+        assert acct.mean_usage_since(0.0, 10.0).cpu == pytest.approx(0.5)
+
+    def test_mutating_live_counter_result_is_harmless(self):
+        acct = self._account()
+        acct._integral_at(20.0)[:] = 99.0  # t >= last_update branch
+        assert acct.cpu_seconds() == pytest.approx(15.0)
+        assert acct.totals.cpu == pytest.approx(15.0)
+
+    def test_mutating_interpolated_result_is_harmless(self):
+        acct = self._account()
+        acct._integral_at(5.0)[:] = 99.0  # interpolation branch
+        assert acct.mean_usage_since(0.0, 10.0).cpu == pytest.approx(0.5)
+
+    def test_checkpoint_count_and_prune(self):
+        acct = self._account()
+        assert acct.checkpoint_count == 3  # creation + 2 checkpoints
+        assert acct.prune_before(10.0) == 1
+        assert acct.checkpoint_count == 2
+        assert acct.history_floor == pytest.approx(10.0)
+        # Windows at or above the floor are untouched.
+        assert acct.mean_usage_since(10.0, 20.0).cpu == pytest.approx(1.0)
+        with pytest.raises(ContainerError):
+            acct.mean_usage_since(5.0, 20.0)
+
+    def test_grow_preserves_history(self):
+        acct = CgroupAccount()
+        for _ in range(100):  # force several buffer growths
+            acct.accumulate(1.0, ResourceVector(cpu=0.25))
+            acct.checkpoint()
+        assert acct.checkpoint_count == 101
+        assert acct.cpu_seconds() == pytest.approx(25.0)
+        assert acct.mean_usage_since(10.0, 90.0).cpu == pytest.approx(0.25)
+
+    def test_prune_then_grow_compacts(self):
+        acct = CgroupAccount()
+        for i in range(200):
+            acct.accumulate(1.0, ResourceVector(cpu=0.5))
+            acct.checkpoint()
+            if i % 10 == 0:
+                acct.prune_before(acct.last_update - 5.0)
+        assert acct.checkpoint_count < 32
+        assert acct.cpu_seconds() == pytest.approx(100.0)
