@@ -69,6 +69,9 @@ def sweep_grid(
     n_workers: int = 1,
     placement: str = "spread",
     rebalance: str | None = None,
+    admission: str | None = None,
+    autoscale: str | None = None,
+    max_containers: int | None = None,
 ) -> SweepGrid:
     """Run FlowCon over an (α × itval) grid against one shared NA run.
 
@@ -87,9 +90,12 @@ def sweep_grid(
         Process count for the batch runner; cells (and the NA reference)
         are independent runs, so ``workers=N`` executes the grid N-wide
         with identical results.
-    n_workers / placement / rebalance:
+    n_workers / placement / rebalance / admission / autoscale /
+    max_containers:
         Simulated cluster shape shared by every cell (and the NA
-        reference), forwarded to the unified runner.
+        reference), forwarded to the unified runner.  Admission and
+        autoscale policies only act when ``max_containers`` bounds the
+        workers — unbounded clusters never queue.
     """
     if not alphas or not itvals:
         raise ExperimentError("sweep needs non-empty alpha and itval axes")
@@ -113,6 +119,9 @@ def sweep_grid(
         n_workers=n_workers,
         placement=placement,
         rebalance=rebalance,
+        admission=admission,
+        autoscale=autoscale,
+        max_containers=max_containers,
     )
     na_summary = records[0].summary()
     cells = [

@@ -25,6 +25,8 @@ import numpy as np
 from repro.analysis.compare import compare_runs
 from repro.analysis.sweeps import sweep_grid
 from repro.baselines.na import NAPolicy
+from repro.cluster.admission import ADMISSIONS
+from repro.cluster.autoscale import AUTOSCALERS
 from repro.cluster.placement import PLACEMENTS
 from repro.cluster.rebalance import REBALANCERS
 from repro.config import FlowConConfig, SimulationConfig
@@ -189,18 +191,58 @@ def _cmd_zoo(_args) -> int:
     return _cmd_table(argparse.Namespace(number=1, seed=1))
 
 
+def _parse_tenant_weights(pairs: list[str]) -> dict[str, float]:
+    """Parse ``NAME=WEIGHT`` pairs from ``--tenant-weights``."""
+    weights: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        try:
+            weight = float(value)
+        except ValueError:
+            weight = 0.0
+        if not sep or not name or weight <= 0:
+            raise ExperimentError(
+                f"bad tenant weight {pair!r}; expected NAME=POSITIVE_WEIGHT"
+            )
+        weights[name] = weight
+    return weights
+
+
+def _assign_tenants(specs, weights: dict[str, float]):
+    """Spread jobs round-robin over the named tenants, arrival order."""
+    from dataclasses import replace
+
+    names = sorted(weights)
+    if len(names) > len(specs):
+        raise ExperimentError(
+            f"{len(names)} tenants for {len(specs)} jobs; every tenant "
+            f"named in --tenant-weights needs at least one job"
+        )
+    return [
+        replace(spec, tenant=names[i % len(names)], weight=weights[names[i % len(names)]])
+        for i, spec in enumerate(specs)
+    ]
+
+
 def _cmd_compare(args) -> int:
     if args.jobs == 3:
         specs = fixed_three_job()
     else:
         gen = WorkloadGenerator(np.random.default_rng(args.seed))
         specs = gen.random_mix(args.jobs)
+    if args.tenant_weights:
+        specs = _assign_tenants(
+            specs, _parse_tenant_weights(args.tenant_weights)
+        )
     sim_cfg = SimulationConfig(seed=args.seed, trace=False)
     fc_cfg = FlowConConfig(alpha=args.alpha, itval=args.itval)
     cluster = dict(
         n_workers=args.workers,
         placement=args.placement,
         rebalance=args.rebalance,
+        admission=args.admission,
+        autoscale=args.autoscale,
+        max_containers=args.slots,
     )
     na = run_cluster(specs, NAPolicy, sim_cfg, **cluster)
     fc = run_cluster(specs, partial(FlowConPolicy, fc_cfg), sim_cfg, **cluster)
@@ -208,7 +250,8 @@ def _cmd_compare(args) -> int:
                           treatment_name=fc_cfg.describe())
     where = (
         f"{args.workers} workers ({args.placement}, "
-        f"rebalance {args.rebalance})"
+        f"rebalance {args.rebalance}, admission {args.admission}, "
+        f"autoscale {args.autoscale})"
         if args.workers > 1
         else f"seed {args.seed}"
     )
@@ -227,6 +270,20 @@ def _cmd_compare(args) -> int:
     print(f"\nwins {report.wins}/{report.n_jobs}; "
           f"best {report.best[0]} {report.best[1]:+.1f}%; "
           f"worst {report.worst[0]} {report.worst[1]:+.1f}%")
+    if args.tenant_weights:
+        print()
+        for tenant in sorted(_parse_tenant_weights(args.tenant_weights)):
+            print(
+                f"tenant {tenant}: p95 queue delay "
+                f"NA {na.summary.p95_queue_delay(tenant):.1f}s, "
+                f"FlowCon {fc.summary.p95_queue_delay(tenant):.1f}s"
+            )
+    if args.autoscale != "none":
+        print(
+            f"fleet: peak {na.summary.peak_fleet()} workers (NA), "
+            f"{fc.summary.peak_fleet()} (FlowCon); "
+            f"{na.summary.fleet_changes()} scale events (NA)"
+        )
     return 0
 
 
@@ -239,6 +296,9 @@ def _cmd_sweep(args) -> int:
         n_workers=args.workers,
         placement=args.placement,
         rebalance=args.rebalance,
+        admission=args.admission,
+        autoscale=args.autoscale,
+        max_containers=args.slots,
     )
     suffix = (
         f" — {args.workers} workers ({args.placement}, "
@@ -291,6 +351,22 @@ def build_parser() -> argparse.ArgumentParser:
                        default="spread", help="container placement policy")
     p_cmp.add_argument("--rebalance", choices=sorted(REBALANCERS),
                        default="none", help="container rebalance policy")
+    p_cmp.add_argument("--slots", type=int, default=None,
+                       help="admission slots per worker (default unbounded; "
+                            "a bound makes --admission/--autoscale matter)")
+    p_cmp.add_argument("--admission", choices=sorted(ADMISSIONS),
+                       default="fifo",
+                       help="admission-queue drain policy (who waits least "
+                            "when the cluster is full)")
+    p_cmp.add_argument("--autoscale", choices=sorted(AUTOSCALERS),
+                       default="none",
+                       help="worker-fleet autoscaling from queue "
+                            "depth/backlog signals")
+    p_cmp.add_argument("--tenant-weights", nargs="+", metavar="NAME=W",
+                       default=None,
+                       help="assign jobs round-robin to weighted tenants "
+                            "(e.g. interactive=4 batch=1); pair with "
+                            "--admission wfq for weighted fair queueing")
 
     p_sweep = sub.add_parser("sweep", help="alpha x itval grid")
     p_sweep.add_argument("--alphas", type=float, nargs="+",
@@ -304,6 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
                          default="spread", help="container placement policy")
     p_sweep.add_argument("--rebalance", choices=sorted(REBALANCERS),
                          default="none", help="container rebalance policy")
+    p_sweep.add_argument("--slots", type=int, default=None,
+                         help="admission slots per worker (default "
+                              "unbounded; a bound makes "
+                              "--admission/--autoscale matter)")
+    p_sweep.add_argument("--admission", choices=sorted(ADMISSIONS),
+                         default="fifo",
+                         help="admission-queue drain policy")
+    p_sweep.add_argument("--autoscale", choices=sorted(AUTOSCALERS),
+                         default="none",
+                         help="worker-fleet autoscaling policy")
 
     sub.add_parser(
         "validate",

@@ -13,8 +13,16 @@ Key classes
     intervals of constant allocation, schedules exit events.
 :class:`~repro.cluster.manager.Manager`
     Schedules submissions as simulation events, applies capacity-aware
-    admission (FIFO queue under pressure) and places containers through
-    a pluggable :class:`~repro.cluster.placement.PlacementPolicy`.
+    admission through a pluggable
+    :class:`~repro.cluster.admission.AdmissionPolicy`, places containers
+    through a pluggable
+    :class:`~repro.cluster.placement.PlacementPolicy`, and scales the
+    fleet through a pluggable
+    :class:`~repro.cluster.autoscale.AutoscalePolicy`.
+:mod:`~repro.cluster.admission`
+    Admission policies ordering the pending queue: fifo (default),
+    strict priority classes, weighted fair queueing across tenants,
+    and shortest-job-first.
 :mod:`~repro.cluster.placement`
     Placement policies: spread (default), binpack, seeded random,
     framework/model affinity and SLAQ-signal progress placement.
@@ -22,6 +30,10 @@ Key classes
     Rebalance policies revisiting placements on exit events: none
     (default), count-balancing migrate-on-exit, and progress-aware
     straggler migration via live ``Worker.detach``/``attach``.
+:mod:`~repro.cluster.autoscale`
+    Autoscale policies growing/shrinking the fleet from the queue's
+    depth and expected-work backlog: none (default), queue_depth, and
+    progress.
 :class:`~repro.cluster.pool.ContainerPool`
     Arrival/finish journal the worker-monitor listeners poll.
 :class:`~repro.cluster.contention.ContentionModel`
@@ -29,6 +41,23 @@ Key classes
     demand jitter under free competition.
 """
 
+from repro.cluster.admission import (
+    ADMISSIONS,
+    AdmissionPolicy,
+    FifoAdmission,
+    PriorityAdmission,
+    SjfAdmission,
+    WfqAdmission,
+    make_admission,
+)
+from repro.cluster.autoscale import (
+    AUTOSCALERS,
+    AutoscalePolicy,
+    NoAutoscale,
+    ProgressAutoscale,
+    QueueDepthAutoscale,
+    make_autoscale,
+)
 from repro.cluster.contention import ContentionModel
 from repro.cluster.manager import Manager, Placement
 from repro.cluster.placement import (
@@ -55,26 +84,39 @@ from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 
 __all__ = [
+    "ADMISSIONS",
+    "AUTOSCALERS",
+    "AdmissionPolicy",
     "AffinityPlacement",
+    "AutoscalePolicy",
     "BinPackPlacement",
     "ContainerPool",
     "ContentionModel",
+    "FifoAdmission",
     "JobSubmission",
     "Manager",
     "MigrateOnExit",
     "Migration",
+    "NoAutoscale",
     "NoRebalance",
     "PLACEMENTS",
     "Placement",
     "PlacementPolicy",
     "PoolDelta",
+    "PriorityAdmission",
+    "ProgressAutoscale",
     "ProgressAwareRebalance",
     "ProgressPlacement",
+    "QueueDepthAutoscale",
     "REBALANCERS",
     "RandomPlacement",
     "RebalancePolicy",
+    "SjfAdmission",
     "SpreadPlacement",
+    "WfqAdmission",
     "Worker",
+    "make_admission",
+    "make_autoscale",
     "make_placement",
     "make_rebalance",
 ]

@@ -1,0 +1,318 @@
+"""Pluggable admission policies: who leaves the pending queue first.
+
+The §3.1 manager admits work in two steps: an arrival that finds no
+worker with admission headroom joins a *pending queue*, and every
+capacity change (container exit, provisioned worker) triggers a drain
+pass that places queued jobs until headroom runs out.  Historically the
+queue was a hardcoded FIFO deque inside
+:class:`~repro.cluster.manager.Manager`; this module makes the *drain
+order* the third pluggable policy axis, completing the placement ×
+rebalance × admission scheduling matrix.
+
+An :class:`AdmissionPolicy` owns the pending submissions and decides
+which one is released next.  Capacity filtering stays in the manager:
+policies never see the workers and cannot over-subscribe a node — they
+only order the backlog.
+
+Four policies ship:
+
+* :class:`FifoAdmission` (``"fifo"``, the default) — strict arrival
+  order.  Structurally the historical deque (``append``/``popleft``),
+  so runs are bit-identical to the pre-extraction manager (pinned by
+  both golden fixtures).
+* :class:`PriorityAdmission` (``"priority"``) — strict priority classes
+  (:attr:`~repro.cluster.submission.JobSubmission.priority`, higher
+  first) with FIFO tie-break inside a class.
+* :class:`WfqAdmission` (``"wfq"``) — weighted fair queueing across
+  tenants, the SLAQ/YARN-style user-level fairness the single FIFO
+  could not express.  Each queued job gets a *virtual finish time*
+  ``start + 1/weight`` where ``start`` is the later of the system
+  virtual time and its tenant's previous finish tag; the job with the
+  smallest tag drains first.  Tenants therefore drain in proportion to
+  their weights regardless of how many jobs each has backlogged, and
+  any tenant with positive weight has a bounded wait: its head job's
+  tag is fixed at enqueue while every competitor's tags keep growing.
+* :class:`SjfAdmission` (``"sjf"``) — shortest expected remaining work
+  first, read from the workload model
+  (:meth:`~repro.workloads.job.TrainingJob.remaining_work`, the
+  analytic stand-in for expected remaining epochs).  Minimizes mean
+  queue delay at the cost of fairness to large jobs.
+
+All policies are deterministic: ties break on a monotonic enqueue
+sequence number, so replaying a run with the same seed reproduces every
+drain decision bit-for-bit.  Policies hold per-run state, so build a
+fresh instance per run — :func:`make_admission` resolves a registry name
+(``"fifo"``, ``"priority"``, ``"wfq"``, ``"sjf"``), which is also what
+keeps batch tasks picklable: tasks carry the *name*, each worker process
+materializes the policy (tenant weights ride the submissions
+themselves).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import ClusterError, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (manager ← worker)
+    from repro.cluster.submission import JobSubmission
+    from repro.simcore.engine import Simulator
+
+__all__ = [
+    "AdmissionPolicy",
+    "FifoAdmission",
+    "PriorityAdmission",
+    "WfqAdmission",
+    "SjfAdmission",
+    "ADMISSIONS",
+    "make_admission",
+]
+
+#: Tenant key used for submissions without an explicit tenant.
+DEFAULT_TENANT = "default"
+
+
+class AdmissionPolicy(abc.ABC):
+    """Orders the manager's pending queue.
+
+    The manager calls :meth:`push` for every arrival that finds no
+    headroom and :meth:`pop` from its drain passes, one submission per
+    free slot, until the queue is empty or headroom runs out.  A policy
+    therefore fully owns *release order* but never placement.
+    """
+
+    #: Registry/display name ("fifo", "priority", "wfq", "sjf").
+    name: str = "admission"
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach to a run's simulator (clock, tracing); optional."""
+
+    @abc.abstractmethod
+    def push(self, submission: "JobSubmission") -> None:
+        """Enqueue one submission that found no admission headroom."""
+
+    @abc.abstractmethod
+    def pop(self) -> "JobSubmission":
+        """Release the next submission to place (queue must be non-empty)."""
+
+    @abc.abstractmethod
+    def queued(self) -> list["JobSubmission"]:
+        """Pending submissions in current drain order (non-destructive)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of pending submissions."""
+
+    def queued_work(self) -> float:
+        """Expected remaining CPU-seconds backlogged in the queue.
+
+        The aggregate-progress signal autoscaling consumes: how much
+        work the fleet has accepted but not yet started.
+        """
+        return float(sum(s.job.remaining_work() for s in self.queued()))
+
+    def describe(self) -> str:
+        """Human-readable parameterization."""
+        return self.name
+
+
+class FifoAdmission(AdmissionPolicy):
+    """Strict arrival order — the historical manager behaviour.
+
+    Exactly the old ``Manager._queue`` deque: ``push`` appends, ``pop``
+    pops the left end.  The golden fixtures pin this policy bit-identical
+    to the pre-extraction manager.
+    """
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: deque["JobSubmission"] = deque()
+
+    def push(self, submission: "JobSubmission") -> None:
+        self._queue.append(submission)
+
+    def pop(self) -> "JobSubmission":
+        if not self._queue:
+            raise ClusterError("admission queue is empty")
+        return self._queue.popleft()
+
+    def queued(self) -> list["JobSubmission"]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class _HeapAdmission(AdmissionPolicy):
+    """Shared machinery for key-ordered policies (priority, wfq, sjf).
+
+    Subclasses provide :meth:`_key`; ties always break on the enqueue
+    sequence number, i.e. FIFO within a key class, which is also what
+    makes every drain deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+        self._seq = 0
+
+    def _key(self, submission: "JobSubmission") -> tuple:
+        raise NotImplementedError
+
+    def push(self, submission: "JobSubmission") -> None:
+        heapq.heappush(
+            self._heap, (*self._key(submission), self._seq, submission)
+        )
+        self._seq += 1
+
+    def pop(self) -> "JobSubmission":
+        if not self._heap:
+            raise ClusterError("admission queue is empty")
+        return heapq.heappop(self._heap)[-1]
+
+    def queued(self) -> list["JobSubmission"]:
+        return [entry[-1] for entry in sorted(self._heap)]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class PriorityAdmission(_HeapAdmission):
+    """Strict priority classes, FIFO inside a class.
+
+    Drains the highest :attr:`~repro.cluster.submission.JobSubmission
+    .priority` first; equal priorities keep arrival order.  Priority 0
+    everywhere (the default) is therefore plain FIFO.
+    """
+
+    name = "priority"
+
+    def _key(self, submission: "JobSubmission") -> tuple:
+        return (-submission.priority,)
+
+
+class SjfAdmission(_HeapAdmission):
+    """Shortest expected remaining work first.
+
+    Orders by the workload model's expected remaining CPU-seconds at
+    enqueue time (jobs in the queue have not started, so this is their
+    full expected size).  Classic SJF: minimizes mean wait, may delay
+    the largest jobs under sustained pressure.
+    """
+
+    name = "sjf"
+
+    def _key(self, submission: "JobSubmission") -> tuple:
+        return (submission.job.remaining_work(),)
+
+
+class WfqAdmission(_HeapAdmission):
+    """Weighted fair queueing across tenants (deterministic virtual time).
+
+    Parameters
+    ----------
+    tenant_weights:
+        Optional per-tenant weight overrides.  A tenant not listed uses
+        the weight carried by its submissions
+        (:attr:`~repro.cluster.submission.JobSubmission.weight`,
+        default 1.0).  All weights must be positive.
+
+    Each queued job costs one *virtual slot*; a tenant of weight ``w``
+    accrues ``1/w`` of virtual time per queued job, so at any instant
+    the tenants' drained-job counts are proportional to their weights.
+    The system virtual time advances to each released job's finish tag,
+    which prevents an idle tenant from banking credit while keeping the
+    whole schedule a pure function of arrival order — deterministic
+    under replay, no wall-clock involved.
+    """
+
+    name = "wfq"
+
+    def __init__(
+        self, tenant_weights: Mapping[str, float] | None = None
+    ) -> None:
+        super().__init__()
+        weights = dict(tenant_weights) if tenant_weights else {}
+        for tenant, weight in weights.items():
+            if weight <= 0:
+                raise ConfigError(
+                    f"tenant weight must be positive, got {tenant}={weight!r}"
+                )
+        self.tenant_weights = weights
+        self._vtime = 0.0
+        self._last_finish: dict[str, float] = {}
+
+    def _weight(self, submission: "JobSubmission") -> float:
+        tenant = submission.tenant or DEFAULT_TENANT
+        return float(self.tenant_weights.get(tenant, submission.weight))
+
+    def _key(self, submission: "JobSubmission") -> tuple:
+        tenant = submission.tenant or DEFAULT_TENANT
+        start = max(self._vtime, self._last_finish.get(tenant, 0.0))
+        finish = start + 1.0 / self._weight(submission)
+        self._last_finish[tenant] = finish
+        return (finish,)
+
+    def pop(self) -> "JobSubmission":
+        if not self._heap:
+            raise ClusterError("admission queue is empty")
+        finish, _seq, submission = heapq.heappop(self._heap)
+        if finish > self._vtime:
+            self._vtime = finish
+        return submission
+
+    def describe(self) -> str:
+        if not self.tenant_weights:
+            return "wfq (weights from submissions)"
+        weights = ", ".join(
+            f"{t}={w:g}" for t, w in sorted(self.tenant_weights.items())
+        )
+        return f"wfq ({weights})"
+
+
+#: Registry of admission policies by name, for CLI flags and batch tasks.
+ADMISSIONS: dict[str, type[AdmissionPolicy]] = {
+    "fifo": FifoAdmission,
+    "priority": PriorityAdmission,
+    "wfq": WfqAdmission,
+    "sjf": SjfAdmission,
+}
+
+
+def make_admission(
+    admission: str | AdmissionPolicy | None,
+    *,
+    tenant_weights: Mapping[str, float] | None = None,
+) -> AdmissionPolicy:
+    """Resolve a policy name (or pass through an instance) to a policy.
+
+    ``None`` means the historical default, :class:`FifoAdmission`.
+    ``tenant_weights`` applies to the ``"wfq"`` policy (it is an error
+    to combine it with any other name or with a ready-made instance).
+    """
+    if isinstance(admission, AdmissionPolicy):
+        if tenant_weights:
+            raise ClusterError(
+                "tenant_weights cannot be combined with a policy instance; "
+                "construct WfqAdmission(tenant_weights=...) directly"
+            )
+        return admission
+    if admission is None:
+        admission = "fifo"
+    try:
+        cls = ADMISSIONS[admission]
+    except (KeyError, TypeError):
+        raise ClusterError(
+            f"unknown admission {admission!r}; choose from {sorted(ADMISSIONS)}"
+        ) from None
+    if tenant_weights:
+        if cls is not WfqAdmission:
+            raise ClusterError(
+                f"tenant_weights only applies to admission='wfq', "
+                f"got {admission!r}"
+            )
+        return WfqAdmission(tenant_weights=tenant_weights)
+    return cls()

@@ -1,27 +1,32 @@
-"""The cluster manager: placement and capacity-aware admission.
+"""The cluster manager: placement, pluggable admission, elastic fleet.
 
 §3.1: "Managers accept specifications from the user and are responsible
 for reconciling the desired state with the actual cluster state"; they
 interact only with workers' container pools.  Our manager therefore does
-three things: turn submissions into
+four things: turn submissions into
 :class:`~repro.simcore.events.Event`\\ s, pick a worker per arriving job
 through a pluggable :class:`~repro.cluster.placement.PlacementPolicy`
-(default: Swarm's least-loaded spread), and apply admission control.
-All elastic-resource logic stays worker-side.
+(default: Swarm's least-loaded spread), apply admission control through
+a pluggable :class:`~repro.cluster.admission.AdmissionPolicy`, and —
+when an :class:`~repro.cluster.autoscale.AutoscalePolicy` is armed —
+grow and shrink the worker fleet from the queue's own signals.  All
+elastic-resource logic stays worker-side.
 
 Admission queue
 ---------------
 Workers may advertise a bounded number of admission slots
 (``Worker(max_containers=...)``).  An arrival that finds no worker with
-headroom joins a FIFO pending queue instead of over-subscribing a node;
-every container exit triggers a drain pass that places queued jobs
-strictly in FIFO order — the head of the queue never yields its slot to
-a younger submission.  Per-job queueing delay (placement time minus
-submit time) is recorded on the :class:`Placement` and surfaced through
+headroom joins the pending queue owned by the admission policy; every
+container exit (and every provisioned worker) triggers a drain pass that
+places queued jobs in the *policy's* order — FIFO (the historical
+default, bit-identical to the old hardcoded deque), strict priority
+classes, weighted fair queueing across tenants, or shortest-job-first.
+Per-job queueing delay (placement time minus submit time) is recorded on
+the :class:`Placement` and surfaced through
 :class:`~repro.metrics.summary.RunSummary`; :attr:`Manager.peak_queue_len`
-tracks the worst backlog of the run.  With unbounded workers (the
-default, and the paper's single-node setup) the queue is never used and
-behaviour is bit-identical to the historical pass-through manager.
+tracks the worst backlog.  With unbounded workers (the default, and the
+paper's single-node setup) the queue is never used and behaviour is
+bit-identical to the historical pass-through manager.
 
 Rebalancing
 -----------
@@ -34,13 +39,39 @@ delay land on the :class:`Placement` and in :attr:`Manager.migrations` /
 :class:`~repro.metrics.summary.RunSummary`.  The default ``"none"``
 policy is short-circuited entirely, preserving bit-identical behaviour
 with the pre-rebalancing manager.
+
+Autoscaling
+-----------
+The autoscale policy is consulted whenever the queue's signals move (an
+arrival queues, an exit drains, a provisioned worker joins).  Scale-up
+schedules a :attr:`~repro.simcore.events.EventKind.WORKER_PROVISION`
+event ``provision_delay`` seconds out; when it fires, ``worker_factory``
+builds the node, it joins the fleet, :attr:`provision_hooks` fire (the
+runner attaches a recorder and a fresh scheduling policy), and the queue
+drains into the new capacity.  Scale-down retires only *empty* workers —
+a worker still hosting containers is marked *draining* (no placements,
+no migration targets; composes with rebalancing, which may actively move
+its containers off) and is retired at its first empty moment.  The
+fleet-size timeline lands in :attr:`fleet_timeline` and rides
+:class:`~repro.metrics.summary.RunSummary`.  The default ``"none"``
+policy is short-circuited entirely: bit-identical to the fixed-fleet
+manager.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, replace
+from typing import Callable
 
+from repro.cluster.admission import (
+    AdmissionPolicy,
+    make_admission,
+)
+from repro.cluster.autoscale import (
+    AutoscalePolicy,
+    NoAutoscale,
+    make_autoscale,
+)
 from repro.cluster.placement import PlacementPolicy, make_placement
 from repro.cluster.rebalance import (
     Migration,
@@ -56,6 +87,9 @@ from repro.simcore.events import PRIORITY_ARRIVAL, Event, EventKind
 
 __all__ = ["Placement", "Manager"]
 
+#: Builds one fresh worker for the autoscaler, given its node name.
+WorkerFactory = Callable[[str], Worker]
+
 
 @dataclass(frozen=True)
 class Placement:
@@ -65,7 +99,8 @@ class Placement:
     (``placed_time - submit_time``); 0.0 for jobs placed on arrival.
     ``worker_name`` is the job's *current* host: rebalancing updates it
     on every migration, bumping ``migrations`` and adding any in-flight
-    checkpoint/restore time to ``migration_delay``.
+    checkpoint/restore time to ``migration_delay``.  ``tenant`` carries
+    the submission's owning tenant (``None`` outside multi-tenant runs).
     """
 
     label: str
@@ -76,6 +111,7 @@ class Placement:
     queue_delay: float = 0.0
     migrations: int = 0
     migration_delay: float = 0.0
+    tenant: str | None = None
 
 
 class Manager:
@@ -86,7 +122,7 @@ class Manager:
     sim:
         The simulation engine.
     workers:
-        The cluster's workers (non-empty, unique names).
+        The cluster's initial workers (non-empty, unique names).
     placement:
         A :class:`~repro.cluster.placement.PlacementPolicy` instance or
         registry name (``"spread"``, ``"binpack"``, ``"random"``,
@@ -96,6 +132,19 @@ class Manager:
         A :class:`~repro.cluster.rebalance.RebalancePolicy` instance or
         registry name (``"none"``, ``"migrate"``, ``"progress"``);
         ``None`` means no rebalancing, the historical default.
+    admission:
+        An :class:`~repro.cluster.admission.AdmissionPolicy` instance or
+        registry name (``"fifo"``, ``"priority"``, ``"wfq"``, ``"sjf"``);
+        ``None`` means FIFO, the historical default (bit-identical to
+        the pre-extraction hardcoded deque).
+    autoscale:
+        An :class:`~repro.cluster.autoscale.AutoscalePolicy` instance or
+        registry name (``"none"``, ``"queue_depth"``, ``"progress"``);
+        ``None`` means a fixed fleet, the historical default.
+    worker_factory:
+        ``name -> Worker`` builder for autoscale-provisioned nodes.
+        ``None`` (default) clones the first initial worker's shape
+        (capacity, contention, allocation mode, admission slots).
     """
 
     def __init__(
@@ -105,6 +154,9 @@ class Manager:
         *,
         placement: PlacementPolicy | str | None = None,
         rebalance: RebalancePolicy | str | None = None,
+        admission: AdmissionPolicy | str | None = None,
+        autoscale: AutoscalePolicy | str | None = None,
+        worker_factory: WorkerFactory | None = None,
     ) -> None:
         if not workers:
             raise ClusterError("a manager needs at least one worker")
@@ -117,27 +169,52 @@ class Manager:
         self.placement.bind(sim)
         self.rebalance = make_rebalance(rebalance)
         self.rebalance.bind(sim)
-        if not isinstance(self.rebalance, NoRebalance):
+        self.admission = make_admission(admission)
+        self.admission.bind(sim)
+        self.autoscale = make_autoscale(autoscale)
+        self.autoscale.bind(sim, len(self.workers))
+        self.worker_factory = worker_factory
+        rebalance_armed = not isinstance(self.rebalance, NoRebalance)
+        elastic = not isinstance(self.autoscale, NoAutoscale)
+        if rebalance_armed and (len(self.workers) > 1 or elastic):
             # Live migration lets a container meet brand-new observers on
             # its target worker, whose first sampling window legitimately
             # reaches back to the container's creation time — checkpoint
             # history must therefore be kept whole.  Without rebalancing
-            # the observation bus prunes history down to the oldest live
-            # observation window.
+            # (or with a single fixed worker, where no migration target
+            # can ever exist) the observation bus prunes history down to
+            # the oldest live observation window.
             for worker in self.workers:
                 worker.obsbus.prune = False
+        self._prune_disabled = rebalance_armed and (
+            len(self.workers) > 1 or elastic
+        )
         self.placements: dict[str, Placement] = {}
         #: label → queueing delay, for jobs that actually waited (>0 s).
         self.queue_delays: dict[str, float] = {}
+        #: label → tenant, for submissions that declared one.
+        self.tenants: dict[str, str] = {}
         #: label → migration count, for jobs that actually migrated.
         self.migrations: dict[str, int] = {}
         #: label → summed in-flight checkpoint/restore seconds.
         self.migration_delays: dict[str, float] = {}
         self.peak_queue_len: int = 0
-        self._queue: deque[JobSubmission] = deque()
+        #: ``(time, fleet size)`` after every provision/retire (and the
+        #: initial fleet at t=0); length 1 for fixed-fleet runs.
+        self.fleet_timeline: list[tuple[float, int]] = [
+            (sim.now, len(self.workers))
+        ]
+        #: Hooks invoked with each autoscale-provisioned worker after it
+        #: joins the fleet: f(worker).  The runner attaches recorders
+        #: and scheduling policies here.
+        self.provision_hooks: list = []
+        #: Hooks invoked with each retired worker after it leaves: f(worker).
+        self.retire_hooks: list = []
         self._labels: set[str] = set()
         self._pending: int = 0
         self._in_flight: int = 0
+        self._provisions_pending: int = 0
+        self._next_worker_idx = len(self.workers)
         for worker in self.workers:
             worker.exit_hooks.append(self._on_worker_exit)
 
@@ -190,10 +267,19 @@ class Manager:
             submit_time=submission.submit_time,
             placed_time=now,
             queue_delay=delay,
+            tenant=submission.tenant,
         )
         if delay > 0:
             self.queue_delays[submission.label] = delay
+        if submission.tenant is not None:
+            self.tenants[submission.label] = submission.tenant
         self._pending -= 1
+        if self._pending == 0:
+            # No accepted submission is still waiting to be placed: the
+            # progress placement observer (if any) goes quiescent and
+            # releases its bus subscriptions, so checkpoint pruning is no
+            # longer pinned at its last sampling windows.
+            self.placement.quiesce()
         self.sim.trace(
             "manager.place",
             f"placed {submission.label} on {worker.name}"
@@ -201,35 +287,73 @@ class Manager:
             cid=container.cid,
         )
 
+    def _rearm_draining(self) -> list[Worker]:
+        """Un-drain one worker with free slots; return the new eligibles.
+
+        An arrival that would queue while a draining worker still has
+        admission slots is proof the fleet is too small to be
+        shrinking: cancel that worker's retirement instead of making
+        the job wait for a scale-up threshold.  One worker per arrival,
+        in fleet order — deterministic, and enough for this job.
+        """
+        for worker in self.workers:
+            if worker.draining and (
+                worker.max_containers is None
+                or len(worker.running_containers()) + worker.reserved
+                < worker.max_containers
+            ):
+                worker.draining = False
+                self.sim.trace(
+                    "manager.scale",
+                    f"re-armed draining {worker.name} for a queued arrival",
+                )
+                return self._eligible_workers()
+        return []
+
     def _on_arrival(self, event: Event) -> None:
         submission: JobSubmission = event.payload
         eligible = self._eligible_workers()
+        if not eligible and not isinstance(self.autoscale, NoAutoscale):
+            eligible = self._rearm_draining()
         if not eligible:
-            self._queue.append(submission)
-            if len(self._queue) > self.peak_queue_len:
-                self.peak_queue_len = len(self._queue)
+            self.admission.push(submission)
+            depth = len(self.admission)
+            if depth > self.peak_queue_len:
+                self.peak_queue_len = depth
             self.sim.trace(
                 "manager.queue",
                 f"queued {submission.label} "
-                f"(cluster full, depth {len(self._queue)})",
+                f"(cluster full, depth {depth})",
             )
+            self._autoscale_pass()
             return
         self._place(submission, eligible)
+
+    def _drain_queue(self) -> bool:
+        """Place queued jobs while headroom lasts; True if fully drained.
+
+        Queued submissions keep strict priority over migrations: the
+        rebalancer only ever moves containers into slots the drain left
+        free (a non-empty queue implies zero headroom anywhere, so no
+        migration target exists).
+        """
+        while len(self.admission):
+            eligible = self._eligible_workers()
+            if not eligible:
+                return False
+            self._place(self.admission.pop(), eligible)
+        return True
 
     def _on_worker_exit(self, _container) -> None:
         """Worker exit hook: drain the admission queue, then rebalance.
 
-        Queued submissions keep strict priority over migrations: the
-        rebalancer only ever moves containers into slots the FIFO drain
-        left free (a non-empty queue implies zero headroom anywhere, so
-        no migration target exists).
+        The rebalance pass runs only when the queue fully drained (a
+        backlog implies no free slot to migrate into); the autoscale
+        pass always runs — the backlog is precisely its scale-up signal.
         """
-        while self._queue:
-            eligible = self._eligible_workers()
-            if not eligible:
-                return
-            self._place(self._queue.popleft(), eligible)
-        self._rebalance_pass()
+        if self._drain_queue():
+            self._rebalance_pass()
+        self._autoscale_pass()
 
     # -- rebalancing ----------------------------------------------------------------
 
@@ -251,7 +375,7 @@ class Manager:
     def _migrate(self, move: Migration) -> None:
         """Execute one planned migration (synchronous or in-flight)."""
         label = move.label
-        delay = self.rebalance.migration_delay
+        delay = self.rebalance.delay_for(move.container)
         container = move.source.detach(move.container.cid)
         self.migrations[label] = self.migrations.get(label, 0) + 1
         if delay > 0:
@@ -293,6 +417,146 @@ class Manager:
         self._in_flight -= 1
         target.attach(container)
 
+    # -- autoscaling -----------------------------------------------------------------
+
+    def _autoscale_pass(self) -> None:
+        """Consult the autoscale policy and apply its fleet delta."""
+        if isinstance(self.autoscale, NoAutoscale):
+            # Short-circuit: "none" runs must be bit-identical to the
+            # fixed-fleet manager — no planning, no timeline churn.
+            return
+        self._retire_drained()
+        delta = self.autoscale.plan(self)
+        if delta > 0:
+            for _ in range(delta):
+                if not self._scale_up():
+                    break
+        elif delta < 0:
+            for _ in range(-delta):
+                if not self._scale_down():
+                    break
+
+    def _scale_up(self) -> bool:
+        """Re-arm a draining worker, or schedule one provision event."""
+        ceiling = self.autoscale.max_workers
+        if (
+            ceiling is not None
+            and len(self.workers) + self._provisions_pending >= ceiling
+        ):
+            return False
+        for worker in self.workers:
+            if worker.draining:
+                # Cheaper than a boot: the node never actually left.
+                worker.draining = False
+                self.sim.trace(
+                    "manager.scale", f"re-armed draining {worker.name}"
+                )
+                self._drain_queue()
+                return True
+        self._provisions_pending += 1
+        self.sim.schedule(
+            self.sim.now + self.autoscale.provision_delay,
+            self._on_provision,
+            kind=EventKind.WORKER_PROVISION,
+            priority=PRIORITY_ARRIVAL,
+        )
+        self.sim.trace(
+            "manager.scale",
+            f"provisioning worker ({self.autoscale.provision_delay:.0f}s "
+            f"boot, fleet {len(self.workers)}"
+            f"+{self._provisions_pending} pending)",
+        )
+        return True
+
+    def _on_provision(self, _event: Event) -> None:
+        """A provisioned worker finishes booting and joins the fleet."""
+        self._provisions_pending -= 1
+        name = f"worker-{self._next_worker_idx}"
+        self._next_worker_idx += 1
+        factory = self.worker_factory or self._default_worker_factory
+        worker = factory(name)
+        if self._prune_disabled:
+            worker.obsbus.prune = False
+        worker.exit_hooks.append(self._on_worker_exit)
+        self.workers.append(worker)
+        self.fleet_timeline.append((self.sim.now, len(self.workers)))
+        self.sim.trace(
+            "manager.scale",
+            f"{name} joined the fleet (size {len(self.workers)})",
+        )
+        for hook in self.provision_hooks:
+            hook(worker)
+        if self._drain_queue():
+            self._rebalance_pass()
+        self._autoscale_pass()
+
+    def _default_worker_factory(self, name: str) -> Worker:
+        """Clone the initial fleet's shape for a provisioned node."""
+        template = self.workers[0]
+        return Worker(
+            self.sim,
+            name=name,
+            capacity=template.capacity,
+            contention=template.contention,
+            allocation_mode=template.allocator.mode,
+            reschedule_tolerance=template.reschedule_tolerance,
+            max_containers=template.max_containers,
+        )
+
+    def _retirable(self) -> list[Worker]:
+        """Workers the autoscaler may remove, never below its floor."""
+        floor = self.autoscale.min_workers or 1
+        headroom = len(self.workers) - max(floor, 1)
+        if headroom <= 0:
+            return []
+        # Newest nodes leave first (LIFO): the initial fleet is sticky.
+        return list(reversed(self.workers))[:headroom]
+
+    def _retire_drained(self) -> None:
+        """Retire any draining worker that has become empty."""
+        for worker in [w for w in self.workers if w.draining]:
+            if worker.is_empty():
+                self._retire(worker)
+
+    def _scale_down(self) -> bool:
+        """Retire one empty worker, or start draining one."""
+        candidates = self._retirable()
+        if not candidates:
+            return False
+        for worker in candidates:
+            if not worker.draining and worker.is_empty():
+                self._retire(worker)
+                return True
+        for worker in candidates:
+            # Only nodes with no in-flight arrivals can drain: a
+            # reservation means a migrated container is about to attach.
+            if not worker.draining and worker.reserved == 0:
+                worker.draining = True
+                self.sim.trace(
+                    "manager.scale",
+                    f"draining {worker.name} "
+                    f"({len(worker.running_containers())} containers left)",
+                )
+                return True
+        return False
+
+    def _retire(self, worker: Worker) -> None:
+        """Remove one empty worker from the fleet."""
+        if not worker.is_empty():  # pragma: no cover - defensive
+            raise ClusterError(
+                f"cannot retire non-empty worker {worker.name}"
+            )
+        worker.draining = False
+        worker.exit_hooks.remove(self._on_worker_exit)
+        self.workers.remove(worker)
+        self.fleet_timeline.append((self.sim.now, len(self.workers)))
+        self.sim.trace(
+            "manager.scale",
+            f"retired {worker.name} (fleet size {len(self.workers)})",
+        )
+        for hook in self.retire_hooks:
+            hook(worker)
+
     # -- views ------------------------------------------------------------------------
 
     @property
@@ -303,12 +567,22 @@ class Manager:
     @property
     def queue_len(self) -> int:
         """Jobs currently waiting in the admission queue."""
-        return len(self._queue)
+        return len(self.admission)
 
     @property
     def in_flight(self) -> int:
         """Containers currently migrating between workers."""
         return self._in_flight
+
+    @property
+    def provisions_pending(self) -> int:
+        """Autoscale-provisioned workers still booting."""
+        return self._provisions_pending
+
+    @property
+    def fleet_size(self) -> int:
+        """Workers currently in the fleet (draining ones included)."""
+        return len(self.workers)
 
     def migration_count(self, label: str) -> int:
         """How many times a job has been migrated (0 if never)."""
@@ -320,8 +594,8 @@ class Manager:
         return sum(self.migrations.values())
 
     def queued_labels(self) -> list[str]:
-        """Labels waiting in the admission queue, FIFO order."""
-        return [sub.label for sub in self._queue]
+        """Labels waiting in the admission queue, in drain order."""
+        return [sub.label for sub in self.admission.queued()]
 
     def placement_of(self, label: str) -> Placement:
         """Placement record for a job label."""

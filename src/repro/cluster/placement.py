@@ -70,6 +70,15 @@ class PlacementPolicy(abc.ABC):
     ) -> "Worker":
         """Choose one of *workers* (non-empty, all with headroom)."""
 
+    def quiesce(self) -> None:
+        """The manager will not place again until new work arrives.
+
+        Called when the last accepted submission has been placed.
+        Policies holding observation-bus subscriptions release them here
+        so checkpoint pruning is no longer pinned at their last sampling
+        windows; a later :meth:`select` transparently re-subscribes.
+        """
+
     def describe(self) -> str:
         """Human-readable parameterization."""
         return self.name
@@ -187,6 +196,13 @@ class ProgressPlacement(PlacementPolicy):
     def bind(self, sim: "Simulator") -> None:
         self._sim = sim
         self._observer.reset()
+
+    def quiesce(self) -> None:
+        # With nothing left to place, this policy will not observe again
+        # (until a genuinely new submission arrives, which transparently
+        # re-subscribes): release the bus subscriptions so the pruning
+        # floor stops tracking this observer's stale windows.
+        self._observer.release()
 
     def select(
         self, workers: Sequence["Worker"], submission: "JobSubmission"

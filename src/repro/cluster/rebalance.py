@@ -48,13 +48,22 @@ process materializes the policy.
 delay the container is detached immediately, the target admission slot
 is *reserved*, and the attach fires ``delay`` seconds later (the job
 makes no progress in flight).  The default 0.0 migrates synchronously.
+Beyond a constant, the delay can be *derived from the container being
+moved*: ``migration_delay="footprint"`` charges checkpoint time
+proportional to the container's resident memory (checkpoint size is
+what CRIU-style dump/restore actually pays for), and any callable
+``container -> seconds`` plugs in a custom cost model.  The
+progress-aware policy weighs that per-container cost against the
+expected CPU-share gain when choosing its migrant — a heavy container
+whose checkpoint costs more than the move saves stops being the
+preferred victim.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 from repro.cluster.signals import ProgressObserver
 from repro.errors import ClusterError, ConfigError
@@ -89,13 +98,36 @@ class Migration:
         return self.container.name
 
 
+#: Checkpoint seconds charged per unit of resident memory under the
+#: ``"footprint"`` cost model (memory is a fraction of node RAM, so the
+#: zoo's 0.12–0.40 footprints cost ~5–16 s — the CRIU dump/restore
+#: ballpark for jobs of that working-set scale).
+FOOTPRINT_DELAY_SCALE = 40.0
+
+#: Accepted ``migration_delay`` shapes: constant seconds, the
+#: ``"footprint"`` model, or a custom ``container -> seconds`` callable.
+MigrationDelay = Union[float, str, Callable[["Container"], float]]
+
+
+def _footprint_delay(container: "Container") -> float:
+    """Checkpoint/restore seconds derived from resident memory."""
+    return FOOTPRINT_DELAY_SCALE * float(container.job.footprint.memory)
+
+
 def _admitted(worker: "Worker") -> int:
     """Containers occupying admission slots: running plus in-flight."""
     return len(worker.running_containers()) + worker.reserved
 
 
 def _has_headroom(worker: "Worker", admitted: int) -> bool:
-    """Headroom check against a *planned* admitted count."""
+    """Headroom check against a *planned* admitted count.
+
+    Draining workers (being retired by the autoscaler) accept no
+    migration targets — moving work onto a node on its way out would
+    only strand it again.
+    """
+    if worker.draining:
+        return False
     return worker.max_containers is None or admitted < worker.max_containers
 
 
@@ -111,8 +143,13 @@ class RebalancePolicy(abc.ABC):
     Parameters
     ----------
     migration_delay:
-        Seconds of checkpoint/restore in-flight time per migration; 0.0
-        (default) migrates synchronously.  Recorded per job in
+        Checkpoint/restore in-flight time per migration.  A float is a
+        constant number of seconds (0.0, the default, migrates
+        synchronously); the string ``"footprint"`` derives the delay
+        from the migrating container's resident memory (checkpoint
+        size, :data:`FOOTPRINT_DELAY_SCALE` seconds per unit of RAM);
+        a callable ``container -> seconds`` plugs in a custom cost
+        model.  Recorded per job in
         :class:`~repro.cluster.manager.Placement` and surfaced through
         :class:`~repro.metrics.summary.RunSummary`.
     """
@@ -120,12 +157,44 @@ class RebalancePolicy(abc.ABC):
     #: Registry/display name ("none", "migrate", "progress").
     name: str = "rebalance"
 
-    def __init__(self, *, migration_delay: float = 0.0) -> None:
-        if migration_delay < 0:
+    def __init__(self, *, migration_delay: MigrationDelay = 0.0) -> None:
+        if isinstance(migration_delay, str):
+            if migration_delay != "footprint":
+                raise ConfigError(
+                    f"unknown migration_delay model {migration_delay!r}; "
+                    f"use a float, 'footprint', or a callable"
+                )
+        elif not callable(migration_delay):
+            if migration_delay < 0:
+                raise ConfigError(
+                    f"migration_delay must be >= 0, got {migration_delay!r}"
+                )
+            migration_delay = float(migration_delay)
+        self.migration_delay = migration_delay
+
+    def delay_for(self, container: "Container") -> float:
+        """Checkpoint/restore seconds for migrating *container*."""
+        spec = self.migration_delay
+        if isinstance(spec, float):
+            return spec
+        if isinstance(spec, str):  # validated: only "footprint"
+            return _footprint_delay(container)
+        delay = float(spec(container))
+        if delay < 0:
             raise ConfigError(
-                f"migration_delay must be >= 0, got {migration_delay!r}"
+                f"migration_delay callable returned {delay!r} "
+                f"for {container.name}; delays must be >= 0"
             )
-        self.migration_delay = float(migration_delay)
+        return delay
+
+    def _delay_label(self) -> str:
+        """``describe()`` fragment for the delay model."""
+        spec = self.migration_delay
+        if isinstance(spec, float):
+            return f"{spec:g}s"
+        if isinstance(spec, str):
+            return f"footprint×{FOOTPRINT_DELAY_SCALE:g}s"
+        return getattr(spec, "__name__", "callable")
 
     def bind(self, sim: "Simulator") -> None:
         """Attach to a run's simulator (clock, RNG streams, tracing)."""
@@ -174,7 +243,7 @@ class MigrateOnExit(RebalancePolicy):
         *,
         gap: int = 2,
         max_moves: int | None = None,
-        migration_delay: float = 0.0,
+        migration_delay: MigrationDelay = 0.0,
     ) -> None:
         super().__init__(migration_delay=migration_delay)
         if gap < 2:
@@ -237,6 +306,15 @@ class ProgressAwareRebalance(RebalancePolicy):
         more CPU on the target (default 1.5).
     max_moves:
         Cap on migrations per plan (default: one per worker).
+
+    With a per-container delay model (``"footprint"`` or a callable),
+    the victim choice *weighs checkpoint cost against expected gain*:
+    the candidate ranking stays slowest-progress-first, but a candidate
+    is skipped when its in-flight delay exceeds the wall-clock time the
+    share gain is expected to save it
+    (``(1 − 1/gain) · remaining_work / share_now``) — so a heavy
+    container whose checkpoint costs more than the move recovers stops
+    being the preferred migrant.
     """
 
     name = "progress"
@@ -246,7 +324,7 @@ class ProgressAwareRebalance(RebalancePolicy):
         *,
         min_gain: float = 1.5,
         max_moves: int | None = None,
-        migration_delay: float = 0.0,
+        migration_delay: MigrationDelay = 0.0,
     ) -> None:
         super().__init__(migration_delay=migration_delay)
         if min_gain <= 1.0:
@@ -355,16 +433,31 @@ class ProgressAwareRebalance(RebalancePolicy):
             )
             share_now = donor.capacity / max(counts[donor.name], 1)
             share_then = target.capacity / (counts[target.name] + 1)
-            if share_then / share_now < self.min_gain:
+            gain = share_then / share_now
+            if gain < self.min_gain:
                 continue
-            victim = movable[donor.name].pop(0)
-            return Migration(victim, donor, target)
+            for i, victim in enumerate(movable[donor.name]):
+                delay = self.delay_for(victim)
+                if delay > 0:
+                    # The move pays `delay` seconds of zero progress; it
+                    # recovers (1 − 1/gain) of the victim's remaining
+                    # wall-clock at its current share.  Skip candidates
+                    # whose checkpoint costs more than the move saves.
+                    saved = (
+                        (1.0 - 1.0 / gain)
+                        * victim.job.remaining_work()
+                        / share_now
+                    )
+                    if delay >= saved:
+                        continue
+                movable[donor.name].pop(i)
+                return Migration(victim, donor, target)
         return None
 
     def describe(self) -> str:
         return (
             f"progress-aware straggler migration "
-            f"(min_gain={self.min_gain:g}, delay={self.migration_delay:g}s)"
+            f"(min_gain={self.min_gain:g}, delay={self._delay_label()})"
         )
 
 

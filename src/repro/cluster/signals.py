@@ -36,11 +36,31 @@ class ProgressObserver:
     def __init__(self) -> None:
         self._sampler = BusSampler()
         self._tracker = GrowthTracker()
+        self._buses: list = []
 
     def reset(self) -> None:
         """Drop all observation state (bind to a new run)."""
         self._sampler = BusSampler()
         self._tracker = GrowthTracker()
+        self._buses = []
+
+    def release(self) -> None:
+        """Unsubscribe from every visited bus (the observer went quiescent).
+
+        Registered-but-idle subscribers pin each bus's checkpoint-prune
+        floor at their last sampling windows; a policy that knows it will
+        not observe for a while releases here so the bounded-memory
+        guarantee extends to the rest of the run.  Sampling windows are
+        dropped along with the subscription — once unregistered, pruning
+        may advance past them, so a later :meth:`observe` must restart
+        each container's window from the pruned history floor (the same
+        contract as a subscriber that registers late) rather than query
+        below it.
+        """
+        for bus in self._buses:
+            bus.unregister(self._sampler)
+        self._buses = []
+        self._sampler = BusSampler()
 
     def observe(self, worker: "Worker", now: float) -> dict[int, float]:
         """Fold one observation of *worker*'s containers; return rates.
@@ -54,6 +74,8 @@ class ProgressObserver:
         """
         bus = worker.obsbus
         bus.register(self._sampler)
+        if bus not in self._buses:
+            self._buses.append(bus)
         rates: dict[int, float] = {}
         for obs in bus.observe():
             stats = self._sampler.sample(obs)

@@ -5,6 +5,15 @@ A :class:`JobSubmission` pairs a materialized
 The split from :class:`~repro.workloads.generator.WorkloadSpec` is
 deliberate: specs are *plans* (cheap, immutable, reusable across policies
 and repetitions), submissions are *instances* bound to one simulation run.
+
+Multi-tenant metadata
+---------------------
+``tenant``, ``weight`` and ``priority`` exist for the pluggable admission
+policies (:mod:`repro.cluster.admission`): weighted fair queueing drains
+tenants in proportion to their weights, and the priority policy drains
+strict priority classes.  All three default to the single-tenant,
+unweighted, priority-0 values, under which every admission policy that
+consumes them reduces towards plain FIFO behaviour.
 """
 
 from __future__ import annotations
@@ -31,13 +40,28 @@ class JobSubmission:
         When the manager receives it.
     image:
         Container image label for reports.
+    tenant:
+        Owning tenant/user for multi-tenant admission policies; ``None``
+        means the anonymous default tenant.
+    weight:
+        Fair-share weight of this submission's tenant under weighted
+        fair queueing (must be positive).  Per-tenant overrides on the
+        policy itself take precedence.
+    priority:
+        Priority class for the ``"priority"`` admission policy; higher
+        drains first, ties break FIFO.
     """
 
     label: str
     job: TrainingJob
     submit_time: float
     image: str = "repro/dl-job"
+    tenant: str | None = None
+    weight: float = 1.0
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.submit_time < 0:
             raise ValueError(f"negative submit_time {self.submit_time!r}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight!r}")

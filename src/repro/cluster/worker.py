@@ -117,6 +117,10 @@ class Worker:
 
         self._last_settle = sim.now
         self._reserved = 0
+        #: Draining workers accept no new placements or migration
+        #: targets; the autoscaler retires them at the first moment they
+        #: are empty (see :mod:`repro.cluster.autoscale`).
+        self.draining = False
         self._active: list[Container] = []
         self._allocs = np.zeros(0, dtype=np.float64)
         self._exit_handles: dict[int, EventHandle] = {}
@@ -538,7 +542,10 @@ class Worker:
                 )
         self._reallocate()
         if exited:
-            for hook in self.exit_hooks:
+            # Snapshot: a hook may mutate the list (the manager's exit
+            # hook removes itself when the autoscaler retires this
+            # worker mid-iteration).
+            for hook in tuple(self.exit_hooks):
                 hook(container)
 
     # -- views ----------------------------------------------------------------------
@@ -550,13 +557,21 @@ class Worker:
     def has_headroom(self) -> bool:
         """Whether an admission slot is free (always true when unbounded).
 
-        Slots reserved for in-flight migrations count as occupied.
+        Slots reserved for in-flight migrations count as occupied, and
+        a draining worker advertises no headroom at all — it is on its
+        way out of the fleet.
         """
+        if self.draining:
+            return False
         return (
             self.max_containers is None
             or len(self.runtime.running()) + self._reserved
             < self.max_containers
         )
+
+    def is_empty(self) -> bool:
+        """No running containers and no in-flight migration reservations."""
+        return not self.runtime.running() and self._reserved == 0
 
     def allocations(self) -> dict[int, float]:
         """Current CPU allocation per running container id."""

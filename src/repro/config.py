@@ -153,6 +153,18 @@ class SimulationConfig:
         :mod:`repro.cluster.rebalance`).  ``"none"`` (historical
         behaviour) never migrates and is bit-identical to the
         pre-rebalancing manager.
+    admission:
+        Default admission-policy registry name (``"fifo"``,
+        ``"priority"``, ``"wfq"``, ``"sjf"``; see
+        :mod:`repro.cluster.admission`).  ``"fifo"`` (historical
+        behaviour) drains in strict arrival order and is bit-identical
+        to the pre-extraction hardcoded queue.
+    autoscale:
+        Default autoscale-policy registry name (``"none"``,
+        ``"queue_depth"``, ``"progress"``; see
+        :mod:`repro.cluster.autoscale`).  ``"none"`` (historical
+        behaviour) keeps the fleet fixed and is bit-identical to the
+        pre-autoscaling manager.
     """
 
     seed: int = 0
@@ -165,6 +177,8 @@ class SimulationConfig:
     reschedule_tolerance: float = 0.0
     max_containers: int | None = None
     rebalance: str = "none"
+    admission: str = "fifo"
+    autoscale: str = "none"
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -183,14 +197,26 @@ class SimulationConfig:
                 f"max_containers must be >= 1 or None, "
                 f"got {self.max_containers!r}"
             )
-        # Imported lazily: the rebalance registry lives above this module
+        # Imported lazily: the policy registries live above this module
         # in the layering (cluster policies import config-adjacent code).
+        from repro.cluster.admission import ADMISSIONS
+        from repro.cluster.autoscale import AUTOSCALERS
         from repro.cluster.rebalance import REBALANCERS
 
         if self.rebalance not in REBALANCERS:
             raise ConfigError(
                 f"unknown rebalance {self.rebalance!r}; "
                 f"choose from {sorted(REBALANCERS)}"
+            )
+        if self.admission not in ADMISSIONS:
+            raise ConfigError(
+                f"unknown admission {self.admission!r}; "
+                f"choose from {sorted(ADMISSIONS)}"
+            )
+        if self.autoscale not in AUTOSCALERS:
+            raise ConfigError(
+                f"unknown autoscale {self.autoscale!r}; "
+                f"choose from {sorted(AUTOSCALERS)}"
             )
 
     def with_params(self, **kwargs) -> "SimulationConfig":

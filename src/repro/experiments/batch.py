@@ -77,6 +77,15 @@ class RunTask:
         :mod:`repro.cluster.rebalance`); carried by name for the same
         picklability reason.  ``None`` defers to
         ``sim_config.rebalance``.
+    admission:
+        Admission-policy registry name (see
+        :mod:`repro.cluster.admission`); carried by name (tenant
+        weights ride the workload specs).  ``None`` defers to
+        ``sim_config.admission``.
+    autoscale:
+        Autoscale-policy registry name (see
+        :mod:`repro.cluster.autoscale`); carried by name.  ``None``
+        defers to ``sim_config.autoscale``.
     capacities:
         Optional per-worker CPU capacities (heterogeneous clusters).
     max_containers:
@@ -94,6 +103,8 @@ class RunTask:
     n_workers: int = 1
     placement: str = "spread"
     rebalance: str | None = None
+    admission: str | None = None
+    autoscale: str | None = None
     capacities: tuple[float, ...] | None = None
     max_containers: int | tuple[int | None, ...] | None = None
     label: str = ""
@@ -106,7 +117,9 @@ class RunRecord:
     ``queue_delays``/``peak_queue_len`` carry the manager's admission-
     queue observations (empty/zero for unbounded clusters);
     ``migrations``/``migration_delays`` carry the rebalancer's (empty
-    under ``rebalance="none"``).
+    under ``rebalance="none"``); ``tenants`` carries the label → tenant
+    map of multi-tenant runs and ``fleet_timeline`` the autoscaler's
+    ``(time, worker count)`` trajectory.
     """
 
     index: int
@@ -121,6 +134,8 @@ class RunRecord:
     peak_queue_len: int = 0
     migrations: tuple[tuple[str, int], ...] = ()
     migration_delays: tuple[tuple[str, float], ...] = ()
+    tenants: tuple[tuple[str, str], ...] = ()
+    fleet_timeline: tuple[tuple[float, int], ...] = ()
     makespan: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -138,6 +153,8 @@ class RunRecord:
             peak_queue_len=self.peak_queue_len,
             migrations=dict(self.migrations),
             migration_delays=dict(self.migration_delays),
+            tenants=dict(self.tenants),
+            fleet_timeline=self.fleet_timeline,
         )
 
     def completion_times(self) -> dict[str, float]:
@@ -168,6 +185,8 @@ def _execute_task(task: RunTask) -> RunRecord:
         n_workers=task.n_workers,
         placement=task.placement,
         rebalance=task.rebalance,
+        admission=task.admission,
+        autoscale=task.autoscale,
         capacities=task.capacities,
         max_containers=task.max_containers,
     )
@@ -185,6 +204,8 @@ def _execute_task(task: RunTask) -> RunRecord:
         peak_queue_len=summary.peak_queue_len,
         migrations=tuple(sorted(summary.migrations.items())),
         migration_delays=tuple(sorted(summary.migration_delays.items())),
+        tenants=tuple(sorted(summary.tenants.items())),
+        fleet_timeline=tuple(summary.fleet_timeline),
     )
 
 
@@ -245,6 +266,8 @@ def run_many(
     n_workers: int = 1,
     placement: str = "spread",
     rebalance: str | None = None,
+    admission: str | None = None,
+    autoscale: str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
 ) -> list[RunRecord]:
@@ -270,10 +293,11 @@ def run_many(
         run uses ``sim_config.seed`` — deterministic either way.
     labels:
         Optional per-run labels carried into the records.
-    n_workers / placement / rebalance / capacities / max_containers:
+    n_workers / placement / rebalance / admission / autoscale /
+    capacities / max_containers:
         Simulated-cluster shape shared by every run, forwarded to
-        :func:`~repro.experiments.runner.run_cluster` (placement and
-        rebalance by registry name, to keep tasks picklable).
+        :func:`~repro.experiments.runner.run_cluster` (policies by
+        registry name, to keep tasks picklable).
 
     Returns
     -------
@@ -310,6 +334,8 @@ def run_many(
             n_workers=n_workers,
             placement=placement,
             rebalance=rebalance,
+            admission=admission,
+            autoscale=autoscale,
             capacities=None if capacities is None else tuple(capacities),
             max_containers=(
                 max_containers

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.cluster.admission import AdmissionPolicy
+from repro.cluster.autoscale import AutoscalePolicy
 from repro.cluster.manager import Manager
 from repro.cluster.placement import PlacementPolicy
 from repro.cluster.rebalance import RebalancePolicy
@@ -126,6 +128,8 @@ def run_cluster(
     n_workers: int = 1,
     placement: PlacementPolicy | str | None = None,
     rebalance: RebalancePolicy | str | None = None,
+    admission: AdmissionPolicy | str | None = None,
+    autoscale: AutoscalePolicy | str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
 ) -> RunResult:
@@ -158,6 +162,19 @@ def run_cluster(
         ``"migrate"``, ``"progress"``); ``None`` falls back to
         ``sim_config.rebalance`` (default ``"none"``, the historical
         never-migrate behaviour).
+    admission:
+        Admission policy instance or registry name (``"fifo"``,
+        ``"priority"``, ``"wfq"``, ``"sjf"``); ``None`` falls back to
+        ``sim_config.admission`` (default ``"fifo"``, the historical
+        strict-arrival-order behaviour).
+    autoscale:
+        Autoscale policy instance or registry name (``"none"``,
+        ``"queue_depth"``, ``"progress"``); ``None`` falls back to
+        ``sim_config.autoscale`` (default ``"none"``, the historical
+        fixed fleet).  Provisioned workers clone the *config* shape
+        (``cfg.capacity``/``cfg.max_containers``); each gets its own
+        recorder and a fresh policy instance from the factory, exactly
+        like the initial fleet.
     capacities:
         Optional per-worker CPU capacities for heterogeneous clusters.
     max_containers:
@@ -211,21 +228,52 @@ def run_cluster(
         )
         for i in range(n_workers)
     ]
+
+    def provisioned_worker(name: str) -> Worker:
+        # Autoscaled nodes follow the *config* shape, not any per-worker
+        # capacity/slot list (those describe the initial fleet only).
+        return Worker(
+            sim,
+            name=name,
+            capacity=cfg.capacity,
+            contention=cfg.contention,
+            allocation_mode=cfg.allocation_mode,
+            reschedule_tolerance=cfg.reschedule_tolerance,
+            max_containers=cfg.max_containers,
+        )
+
     manager = Manager(
         sim,
         workers,
         placement=placement,
         rebalance=rebalance if rebalance is not None else cfg.rebalance,
+        admission=admission if admission is not None else cfg.admission,
+        autoscale=autoscale if autoscale is not None else cfg.autoscale,
+        worker_factory=provisioned_worker,
     )
     recorders: dict[str, MetricsRecorder] = {}
     policies: dict[str, SchedulingPolicy] = {}
-    for worker in workers:
+
+    def instrument(worker: Worker) -> None:
         recorder = MetricsRecorder(worker, sample_interval=cfg.sample_interval)
         recorder.start()
         recorders[worker.name] = recorder
         pol = policy_factory()
         pol.attach(worker)
         policies[worker.name] = pol
+
+    def uninstrument(worker: Worker) -> None:
+        # A retired worker's recorder keeps its completions (they are
+        # part of the run); it just stops sampling, and the scheduling
+        # policy tears down its periodic events.  Both are idempotent
+        # with the end-of-run sweep below.
+        recorders[worker.name].stop()
+        policies[worker.name].detach()
+
+    for worker in workers:
+        instrument(worker)
+    manager.provision_hooks.append(instrument)
+    manager.retire_hooks.append(uninstrument)
 
     manager.submit_all(
         [
@@ -234,6 +282,9 @@ def run_cluster(
                 job=spec.build_job(),
                 submit_time=spec.submit_time,
                 image=MODEL_ZOO[spec.model_key].image,
+                tenant=spec.tenant,
+                weight=spec.weight,
+                priority=spec.priority,
             )
             for spec in specs
         ]
@@ -272,10 +323,12 @@ def run_cluster(
             peak_queue_len=manager.peak_queue_len,
             migrations=dict(manager.migrations),
             migration_delays=dict(manager.migration_delays),
+            tenants=dict(manager.tenants),
+            fleet_timeline=tuple(manager.fleet_timeline),
         ),
         sim=sim,
         manager=manager,
-        workers=workers,
+        workers=manager.workers,
         policies=policies,
         recorders=recorders,
     )
@@ -303,6 +356,8 @@ def scaling_study(
     sim_config: SimulationConfig | None = None,
     placement: str = "spread",
     rebalance: str | None = None,
+    admission: str | None = None,
+    autoscale: str | None = None,
     workers: int = 1,
 ):
     """Run one workload across several cluster sizes, optionally in parallel.
@@ -328,6 +383,9 @@ def scaling_study(
     rebalance:
         Rebalance-policy registry name shared by every run; ``None``
         defers to ``sim_config.rebalance``.
+    admission / autoscale:
+        Admission-/autoscale-policy registry names shared by every run;
+        ``None`` defers to the config defaults.
     workers:
         *Host* process count for the batch runner (unrelated to the
         simulated cluster sizes).
@@ -351,6 +409,8 @@ def scaling_study(
             n_workers=n,
             placement=placement,
             rebalance=rebalance,
+            admission=admission,
+            autoscale=autoscale,
             label=f"{n}-worker",
         )
         for i, n in enumerate(cluster_sizes)

@@ -15,7 +15,7 @@ bundles a workload with a mixed big/small worker fleet as a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -32,6 +32,8 @@ __all__ = [
     "ClusterScenario",
     "heterogeneous_cluster",
     "imbalanced_cluster",
+    "multi_tenant",
+    "elastic_cluster",
 ]
 
 
@@ -119,11 +121,25 @@ class ClusterScenario:
     specs: tuple[WorkloadSpec, ...]
     capacities: tuple[float, ...]
     max_containers: tuple[int, ...]
+    #: Admission policy the scenario is built to stress ("fifo" keeps
+    #: the historical behaviour); purely a recommendation — runners may
+    #: override.
+    admission: str = "fifo"
+    #: Autoscale policy the scenario is built to stress ("none" keeps
+    #: the fleet fixed); purely a recommendation.
+    autoscale: str = "none"
 
     @property
     def n_workers(self) -> int:
         """Cluster size implied by the capacity list."""
         return len(self.capacities)
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        """Distinct tenants appearing in the workload, sorted."""
+        return tuple(
+            sorted({s.tenant for s in self.specs if s.tenant is not None})
+        )
 
 
 def heterogeneous_cluster(
@@ -167,4 +183,65 @@ def imbalanced_cluster(
         specs=tuple(specs),
         capacities=(1.0, 1.0, 1.0, 0.25),
         max_containers=(8, 8, 8, 8),
+    )
+
+
+def multi_tenant(
+    seed: int = 42,
+    *,
+    n_jobs: int = 80,
+    heavy_share: int = 4,
+    light_weight: float = 4.0,
+) -> ClusterScenario:
+    """Two unequal-weight tenants sharing one bounded cluster.
+
+    The fairness stress the ``wfq`` admission policy exists for: a
+    ``"batch"`` tenant floods the Poisson open-arrival stream
+    (``heavy_share − 1`` of every ``heavy_share`` jobs, weight 1) while
+    an ``"interactive"`` tenant submits the rest at ``light_weight``×
+    the weight.  Under FIFO the interactive jobs queue behind the
+    flood; weighted fair queueing drains the two tenants in proportion
+    to their weights, which is what cuts the light tenant's p95 queue
+    delay (asserted in ``bench_perf_admission.py``).  Tenant
+    assignment is deterministic (every ``heavy_share``-th arrival is
+    interactive), so the *same* spec list compared across admission
+    policies isolates the drain order.
+    """
+    gen = WorkloadGenerator(_rng(seed, "multitenant"))
+    specs = [
+        replace(
+            spec,
+            tenant="interactive" if i % heavy_share == 0 else "batch",
+            weight=light_weight if i % heavy_share == 0 else 1.0,
+        )
+        for i, spec in enumerate(gen.poisson_mix(n_jobs, mean_gap=2.0))
+    ]
+    return ClusterScenario(
+        specs=tuple(specs),
+        capacities=(1.0, 1.0, 1.0, 1.0),
+        max_containers=(2, 2, 2, 2),
+        admission="wfq",
+    )
+
+
+def elastic_cluster(
+    seed: int = 42, *, n_jobs: int = 48
+) -> ClusterScenario:
+    """Bursty arrivals against a deliberately undersized initial fleet.
+
+    The autoscaling stress: two bounded workers face a Poisson stream
+    whose bursts outrun them by a wide margin, so the admission queue
+    grows deep and stays there for minutes — exactly the depth/backlog
+    signal the ``queue_depth`` and ``progress`` autoscale policies
+    consume to provision workers (and, once the stream dries up, to
+    retire the extras).  Run with ``autoscale="none"`` for the baseline
+    queueing behaviour the policies are measured against.
+    """
+    gen = WorkloadGenerator(_rng(seed, "elastic"))
+    specs = gen.poisson_mix(n_jobs, mean_gap=4.0)
+    return ClusterScenario(
+        specs=tuple(specs),
+        capacities=(1.0, 1.0),
+        max_containers=(3, 3),
+        autoscale="queue_depth",
     )

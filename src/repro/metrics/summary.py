@@ -55,7 +55,11 @@ class RunSummary:
     setup).  ``migrations`` and ``migration_delays`` describe the
     rebalancer: per-label move counts and summed in-flight
     checkpoint/restore seconds, for the labels that actually migrated —
-    empty under ``rebalance="none"``.
+    empty under ``rebalance="none"``.  ``tenants`` maps labels to their
+    owning tenant (empty outside multi-tenant runs) and drives the
+    per-tenant queue-delay views; ``fleet_timeline`` is the autoscaler's
+    ``(time, worker count)`` trajectory (one entry — the initial fleet —
+    for fixed-fleet runs).
     """
 
     completions: list[CompletionRecord]
@@ -63,6 +67,8 @@ class RunSummary:
     peak_queue_len: int = 0
     migrations: dict[str, int] = field(default_factory=dict)
     migration_delays: dict[str, float] = field(default_factory=dict)
+    tenants: dict[str, str] = field(default_factory=dict)
+    fleet_timeline: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.completions:
@@ -108,6 +114,54 @@ class RunSummary:
     def max_queue_delay(self) -> float:
         """Largest single admission-queue delay."""
         return max(self.queue_delays.values(), default=0.0)
+
+    # -- multi-tenant fairness ------------------------------------------------------
+
+    def tenant_of(self, label: str) -> str | None:
+        """Owning tenant of one job (``None`` outside multi-tenant runs)."""
+        return self.tenants.get(label)
+
+    def tenant_labels(self, tenant: str) -> list[str]:
+        """Labels belonging to *tenant*, sorted."""
+        return sorted(l for l, t in self.tenants.items() if t == tenant)
+
+    def tenant_queue_delays(self, tenant: str | None = None) -> list[float]:
+        """Per-job queue delays for one tenant (or every completed job).
+
+        Jobs that never queued contribute 0.0 — the fairness metrics
+        must see the whole tenant, not only its unlucky jobs.
+        """
+        if tenant is None:
+            labels = [c.label for c in self.completions]
+        else:
+            labels = self.tenant_labels(tenant)
+            if not labels:
+                raise MetricsError(f"no jobs recorded for tenant {tenant!r}")
+        return [self.queue_delays.get(label, 0.0) for label in labels]
+
+    def p95_queue_delay(self, tenant: str | None = None) -> float:
+        """95th-percentile queue delay, overall or for one tenant."""
+        delays = self.tenant_queue_delays(tenant)
+        return float(np.percentile(np.asarray(delays, dtype=np.float64), 95))
+
+    def mean_queue_delay(self, tenant: str | None = None) -> float:
+        """Mean queue delay, overall or for one tenant."""
+        delays = self.tenant_queue_delays(tenant)
+        return float(np.mean(np.asarray(delays, dtype=np.float64)))
+
+    # -- autoscaling -----------------------------------------------------------------
+
+    def peak_fleet(self) -> int:
+        """Largest worker count the run reached (0 when untracked)."""
+        return max((n for _, n in self.fleet_timeline), default=0)
+
+    def final_fleet(self) -> int:
+        """Worker count at the end of the run (0 when untracked)."""
+        return self.fleet_timeline[-1][1] if self.fleet_timeline else 0
+
+    def fleet_changes(self) -> int:
+        """Provision/retire transitions executed by the autoscaler."""
+        return max(0, len(self.fleet_timeline) - 1)
 
     # -- rebalancing ---------------------------------------------------------------
 

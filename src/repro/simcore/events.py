@@ -33,6 +33,8 @@ class EventKind(enum.Enum):
     CONTAINER_EXIT = "container_exit"
     #: An in-flight migrated container arriving at its target worker.
     CONTAINER_MIGRATION = "container_migration"
+    #: An autoscale-provisioned worker joining the fleet after boot.
+    WORKER_PROVISION = "worker_provision"
     #: A periodic scheduling-policy tick (Algorithm 1 cadence).
     SCHEDULER_TICK = "scheduler_tick"
     #: A listener poll (Algorithm 2 cadence).

@@ -35,12 +35,20 @@ class WorkloadSpec:
         matching the paper's numbering in Figs. 9–17.
     work_scale:
         Job-size multiplier forwarded to :func:`make_job`.
+    tenant / weight / priority:
+        Optional multi-tenant admission metadata, carried verbatim onto
+        the run's :class:`~repro.cluster.submission.JobSubmission` —
+        consumed by the ``"wfq"`` (tenant + weight) and ``"priority"``
+        admission policies; inert under ``"fifo"``/``"sjf"``.
     """
 
     model_key: str
     submit_time: float
     label: str
     work_scale: float = 1.0
+    tenant: str | None = None
+    weight: float = 1.0
+    priority: int = 0
 
     def build_job(self, rng: np.random.Generator | None = None,
                   size_jitter: float = 0.0) -> TrainingJob:

@@ -2,15 +2,17 @@
 
 Example-based tests pin known shapes; this harness sweeps *seeded
 random* cluster shapes — 1–8 workers, mixed capacities, bounded and
-unbounded admission slots — through every placement × rebalance policy
-combination and asserts the conservation invariants that must hold for
-any of them:
+unbounded admission slots, multi-tenant submissions with random
+weights/priorities — through the admission × placement × rebalance
+policy matrix (and autoscaling on/off) and asserts the conservation
+invariants that must hold for any of them:
 
 * every submitted job completes **exactly once**, wherever migrations
-  took it;
+  (or autoscaled placements) took it;
 * no worker ever exceeds its admission slots (in-flight migration
   reservations included), checked after *every* simulation event;
-* the FIFO admission queue fully drains;
+* the admission queue fully drains — under ``wfq`` this doubles as the
+  no-starvation witness: every tenant with positive weight finishes;
 * repeating a run with the same seed is bit-identical.
 
 Shapes are drawn from a ``numpy`` generator seeded independently of the
@@ -22,6 +24,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.cluster.admission import ADMISSIONS
+from repro.cluster.autoscale import AUTOSCALERS, QueueDepthAutoscale
 from repro.cluster.contention import ContentionModel
 from repro.cluster.manager import Manager
 from repro.cluster.placement import PLACEMENTS
@@ -36,6 +40,7 @@ from repro.simcore.engine import Simulator
 from tests.conftest import make_linear_job
 
 _CAPACITY_POOL = [0.25, 0.5, 1.0]
+_TENANT_POOL = ["alpha", "beta", "gamma"]
 
 
 def _random_shape(seed: int):
@@ -54,13 +59,18 @@ def _random_shape(seed: int):
             float(rng.uniform(10.0, 80.0)),   # total work
             float(rng.uniform(0.5, 1.0)),     # demand ceiling
             float(rng.uniform(0.0, 60.0)),    # submit time
+            str(rng.choice(_TENANT_POOL)),    # tenant
+            float(rng.uniform(0.5, 4.0)),     # wfq weight
+            int(rng.integers(0, 3)),          # priority class
         )
         for i in range(1, n_jobs + 1)
     ]
     return capacities, slots, jobs
 
 
-def _run_checked(seed: int, placement: str, rebalance) -> dict[str, str]:
+def _run_checked(
+    seed: int, placement: str, rebalance, admission="fifo", autoscale=None
+) -> dict[str, str]:
     """Run one fuzz case, asserting invariants; return label → repr(t_f)."""
     capacities, slots, jobs = _random_shape(seed)
     sim = Simulator(seed=seed, trace=False)
@@ -74,45 +84,81 @@ def _run_checked(seed: int, placement: str, rebalance) -> dict[str, str]:
         )
         for i, (cap, n) in enumerate(zip(capacities, slots))
     ]
-    manager = Manager(sim, workers, placement=placement, rebalance=rebalance)
-    finished: list[tuple[str, float]] = []
-    for worker in workers:
-        worker.exit_hooks.append(
-            lambda c: finished.append((c.name, c.finished_at))
+
+    def factory(name):
+        return Worker(
+            sim,
+            name=name,
+            capacity=1.0,
+            contention=ContentionModel.ideal(),
+            max_containers=2,
         )
+
+    manager = Manager(
+        sim,
+        workers,
+        placement=placement,
+        rebalance=rebalance,
+        admission=admission,
+        autoscale=autoscale,
+        worker_factory=factory,
+    )
+    finished: list[tuple[str, float]] = []
+
+    def record(c):
+        finished.append((c.name, c.finished_at))
+
+    for worker in workers:
+        worker.exit_hooks.append(record)
+    manager.provision_hooks.append(
+        lambda w: w.exit_hooks.append(record)
+    )
     manager.submit_all(
         [
             JobSubmission(
                 label=label,
                 job=make_linear_job(label, work, demand=demand),
                 submit_time=t,
+                tenant=tenant,
+                weight=weight,
+                priority=priority,
             )
-            for label, work, demand, t in jobs
+            for label, work, demand, t, tenant, weight, priority in jobs
         ]
     )
     while True:
         event = sim.step()
         if event is None:
             break
-        for worker in workers:
+        for worker in manager.workers:
             occupied = len(worker.running_containers()) + worker.reserved
             assert worker.max_containers is None or (
                 occupied <= worker.max_containers
             ), f"{worker.name} over capacity after {event!r}"
 
-    # Exactly-once completion, wherever migrations took each job.
+    # Exactly-once completion, wherever migrations/autoscaling took
+    # each job — under wfq this is the no-starvation witness: every
+    # tenant holds positive weight and all of its jobs finished.
     labels = sorted(name for name, _ in finished)
     assert labels == sorted(label for label, *_ in jobs)
-    # The FIFO queue fully drained and nothing is still in flight.
+    # The admission queue fully drained and nothing is still in flight.
     assert manager.queue_len == 0
     assert manager.pending == 0
     assert manager.in_flight == 0
-    assert all(w.reserved == 0 for w in workers)
-    assert all(not w.running_containers() for w in workers)
-    # Every placed job's record points at a real worker.
-    names = {w.name for w in workers}
+    assert manager.provisions_pending == 0
+    assert all(w.reserved == 0 for w in manager.workers)
+    assert all(not w.running_containers() for w in manager.workers)
+    # Every placed job's record points at a worker that existed (it may
+    # since have been retired by the autoscaler).
+    names = {w.name for w in manager.workers} | {
+        f"worker-{i}" for i in range(manager._next_worker_idx)
+    }
     for label, *_ in jobs:
         assert manager.placement_of(label).worker_name in names
+    # The fleet timeline is monotone in time and ends at the live count.
+    times = [t for t, _ in manager.fleet_timeline]
+    assert times == sorted(times)
+    assert manager.fleet_timeline[-1][1] == len(manager.workers)
     return {name: repr(t) for name, t in finished}
 
 
@@ -127,14 +173,66 @@ def test_conservation_invariants(placement, rebalance, seed):
     assert first == second
 
 
+@pytest.mark.parametrize("admission", sorted(ADMISSIONS))
+@pytest.mark.parametrize("placement", ["spread", "progress"])
+@pytest.mark.parametrize("rebalance", ["none", "progress"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_admission_matrix_invariants(admission, placement, rebalance, seed):
+    """Every admission policy preserves the invariants across the
+    placement × rebalance matrix, bit-identically on repeats."""
+    first = _run_checked(seed, placement, rebalance, admission=admission)
+    second = _run_checked(seed, placement, rebalance, admission=admission)
+    assert first == second
+
+
+@pytest.mark.parametrize("admission", sorted(ADMISSIONS))
+@pytest.mark.parametrize("seed", [5, 6])
+def test_autoscale_on_preserves_invariants(admission, seed):
+    """An elastic fleet (provision + drain/retire churn) keeps every
+    invariant for every admission policy, bit-identically on repeats."""
+    factory = lambda: QueueDepthAutoscale(  # noqa: E731
+        up_threshold=2, provision_delay=5.0, cooldown=0.0
+    )
+    first = _run_checked(
+        seed, "spread", "none", admission=admission, autoscale=factory()
+    )
+    second = _run_checked(
+        seed, "spread", "none", admission=admission, autoscale=factory()
+    )
+    assert first == second
+
+
+@pytest.mark.parametrize("seed", [7])
+def test_autoscale_composes_with_rebalancing(seed):
+    """Autoscale + live migration together still conserve every job."""
+    first = _run_checked(
+        seed,
+        "spread",
+        ProgressAwareRebalance(migration_delay=2.0),
+        autoscale=QueueDepthAutoscale(
+            up_threshold=2, provision_delay=5.0, cooldown=0.0
+        ),
+    )
+    second = _run_checked(
+        seed,
+        "spread",
+        ProgressAwareRebalance(migration_delay=2.0),
+        autoscale=QueueDepthAutoscale(
+            up_threshold=2, provision_delay=5.0, cooldown=0.0
+        ),
+    )
+    assert first == second
+
+
 @pytest.mark.parametrize("seed", [2, 3, 4])
 @pytest.mark.parametrize(
     "factory",
     [
         lambda: MigrateOnExit(migration_delay=3.0),
         lambda: ProgressAwareRebalance(migration_delay=3.0),
+        lambda: ProgressAwareRebalance(migration_delay="footprint"),
     ],
-    ids=["migrate-delayed", "progress-delayed"],
+    ids=["migrate-delayed", "progress-delayed", "progress-footprint"],
 )
 def test_invariants_with_in_flight_migrations(seed, factory):
     """Checkpoint/restore delay keeps every invariant intact."""
@@ -143,9 +241,49 @@ def test_invariants_with_in_flight_migrations(seed, factory):
     assert first == second
 
 
+def test_wfq_light_tenant_not_starved_by_flood():
+    """A continuously backlogged heavy tenant cannot starve a light one.
+
+    Bounded wait, witnessed concretely: the light tenant's lone job is
+    placed before the heavy tenant's backlog is halfway drained.
+    """
+    sim = Simulator(seed=0, trace=False)
+    worker = Worker(
+        sim, name="w0", contention=ContentionModel.ideal(), max_containers=1
+    )
+    manager = Manager(sim, [worker], admission="wfq")
+    subs = [
+        JobSubmission(
+            label=f"H-{i}",
+            job=make_linear_job(f"H-{i}", 20.0),
+            submit_time=float(i) * 0.1,
+            tenant="heavy",
+            weight=1.0,
+        )
+        for i in range(1, 21)
+    ]
+    subs.append(
+        JobSubmission(
+            label="light",
+            job=make_linear_job("light", 20.0),
+            submit_time=3.0,
+            tenant="light",
+            weight=1.0,
+        )
+    )
+    manager.submit_all(subs)
+    sim.run_until_empty()
+    placed = sorted(manager.placements.values(), key=lambda p: p.placed_time)
+    position = [p.label for p in placed].index("light")
+    assert position < len(subs) // 2
+    assert manager.queue_len == 0
+
+
 def test_registries_are_fully_covered():
     """The grids above really sweep every registered policy."""
     assert sorted(PLACEMENTS) == [
         "affinity", "binpack", "progress", "random", "spread",
     ]
     assert sorted(REBALANCERS) == ["migrate", "none", "progress"]
+    assert sorted(ADMISSIONS) == ["fifo", "priority", "sjf", "wfq"]
+    assert sorted(AUTOSCALERS) == ["none", "progress", "queue_depth"]

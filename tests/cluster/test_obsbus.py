@@ -300,3 +300,177 @@ class TestPokeCoalescing:
         sim.clock.advance_to(2.0)
         worker.poke()
         assert worker.version > version
+
+
+class TestIdleObserverPruning:
+    """Quiescent progress observers release their prune-floor pin.
+
+    Historically a registered-but-idle subscriber (the ``progress``
+    placement observer after the last arrival) froze every container's
+    prune floor at its last sampling windows for the rest of the run.
+    The manager now quiesces the placement policy when nothing is left
+    to place, the observer unregisters, and the floor advances again.
+    """
+
+    def _cluster_run(self, placement):
+        from repro.cluster.manager import Manager
+        from repro.cluster.submission import JobSubmission
+        from repro.metrics.recorder import MetricsRecorder
+
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            Worker(
+                sim,
+                name=f"w{i}",
+                contention=ContentionModel.ideal(),
+                max_containers=4,
+            )
+            for i in range(2)
+        ]
+        manager = Manager(sim, workers, placement=placement)
+        recorders = [
+            MetricsRecorder(w, sample_interval=5.0) for w in workers
+        ]
+        for r in recorders:
+            r.start()
+        # One long job per worker plus early arrivals that finish fast:
+        # after t≈40 the placement observer never samples again.
+        manager.submit_all(
+            [
+                JobSubmission(
+                    label=f"long-{i}",
+                    job=make_linear_job(f"long-{i}", 500.0),
+                    submit_time=0.0,
+                )
+                for i in range(2)
+            ]
+            + [
+                JobSubmission(
+                    label=f"quick-{i}",
+                    job=make_linear_job(f"quick-{i}", 10.0),
+                    submit_time=10.0 + i,
+                )
+                for i in range(4)
+            ]
+        )
+        sim.run(until=600.0)
+        for r in recorders:
+            r.stop()
+        return manager, workers
+
+    def test_progress_observer_unregisters_when_quiescent(self):
+        manager, workers = self._cluster_run("progress")
+        observer = manager.placement._observer
+        assert manager.pending == 0
+        for worker in workers:
+            assert observer._sampler not in worker.obsbus._samplers
+
+    def test_prune_floor_advances_after_quiesce(self):
+        """The long containers' floors track the recorder's window, not
+        the quiescent placement observer's last arrival-time sample."""
+        manager, workers = self._cluster_run("progress")
+        spread_manager, spread_workers = self._cluster_run("spread")
+        for w_prog, w_spread in zip(workers, spread_workers):
+            for c_p, c_s in zip(
+                w_prog.running_containers(), w_spread.running_containers()
+            ):
+                # Progress placement's idle observer no longer pins the
+                # floor: same bounded history as the spread-placed run.
+                assert c_p.cgroup.history_floor > c_p.created_at
+                assert c_p.cgroup.checkpoint_count <= (
+                    c_s.cgroup.checkpoint_count + 2
+                )
+
+    def test_reobservation_after_release_still_works(self):
+        """release() is not a tombstone: a new arrival re-subscribes."""
+        from repro.cluster.manager import Manager
+        from repro.cluster.submission import JobSubmission
+
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            Worker(
+                sim,
+                name=f"w{i}",
+                contention=ContentionModel.ideal(),
+                max_containers=4,
+            )
+            for i in range(2)
+        ]
+        manager = Manager(sim, workers, placement="progress")
+        manager.submit_all(
+            [
+                JobSubmission(
+                    label="first",
+                    job=make_linear_job("first", 80.0),
+                    submit_time=0.0,
+                ),
+                JobSubmission(
+                    label="late",
+                    job=make_linear_job("late", 30.0),
+                    submit_time=40.0,
+                ),
+            ]
+        )
+        sim.run(until=20.0)
+        observer = manager.placement._observer
+        assert manager.pending == 1  # "late" still due: not quiescent yet
+        sim.run_until_empty()
+        assert len(manager.placements) == 2
+        assert manager.pending == 0
+        for worker in workers:
+            assert observer._sampler not in worker.obsbus._samplers
+
+    def test_resubmission_after_prune_advance_does_not_crash(self):
+        """Regression: a released observer's windows must not survive.
+
+        After quiesce the prune floor advances past the observer's last
+        samples; a *new* submission re-subscribes the observer, and its
+        first sample must window from the pruned floor instead of
+        querying below it (which raises).
+        """
+        from repro.cluster.manager import Manager
+        from repro.cluster.submission import JobSubmission
+        from repro.metrics.recorder import MetricsRecorder
+
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            Worker(
+                sim,
+                name=f"w{i}",
+                contention=ContentionModel.ideal(),
+                max_containers=4,
+            )
+            for i in range(2)
+        ]
+        manager = Manager(sim, workers, placement="progress")
+        recorders = [MetricsRecorder(w, sample_interval=5.0) for w in workers]
+        for r in recorders:
+            r.start()
+        manager.submit_all(
+            [
+                JobSubmission(
+                    label=f"long-{i}",
+                    job=make_linear_job(f"long-{i}", 2000.0),
+                    submit_time=50.0 * i,
+                )
+                for i in range(2)
+            ]
+        )
+        # Run far past the last placement: quiesce fired, the recorder
+        # keeps sampling, and pruning advances well past t=0.
+        sim.run(until=1000.0)
+        for worker in workers:
+            for c in worker.running_containers():
+                assert c.cgroup.history_floor > 0.0
+        # A genuinely new submission re-engages the progress observer.
+        manager.submit(
+            JobSubmission(
+                label="late",
+                job=make_linear_job("late", 20.0),
+                submit_time=1001.0,
+            )
+        )
+        sim.run(until=1100.0)  # would raise ContainerError before the fix
+        assert "late" in manager.placements
+        for r in recorders:
+            r.stop()

@@ -337,3 +337,162 @@ class TestProgressAwareRebalance:
         )
         sim.run_until_empty()
         assert manager.total_migrations == 0
+
+
+def _memory_job(name, work, memory):
+    """Linear job with an explicit resident-memory footprint."""
+    from repro.containers.spec import ResourceSpec
+    from repro.workloads.curves import PiecewiseLinearCurve
+    from repro.workloads.evalfn import EvalFunction, EvalKind
+    from repro.workloads.job import TrainingJob
+
+    return TrainingJob(
+        name=name,
+        total_work=work,
+        curve=PiecewiseLinearCurve([(0.0, 1.0), (1.0, 0.0)]),
+        evalfn=EvalFunction(kind=EvalKind.SQUARED_LOSS, start=1.0, converged=0.0),
+        footprint=ResourceSpec(cpu_demand=1.0, memory=memory),
+        total_iterations=1000,
+    )
+
+
+class TestFootprintMigrationCost:
+    """migration_delay="footprint"/callable: checkpoint cost from memory."""
+
+    def test_delay_for_constant_footprint_and_callable(self):
+        from repro.cluster.rebalance import FOOTPRINT_DELAY_SCALE
+
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w")
+        heavy = w.launch(_memory_job("heavy", 50.0, memory=0.4))
+        light = w.launch(_memory_job("light", 50.0, memory=0.1))
+
+        constant = ProgressAwareRebalance(migration_delay=3.0)
+        assert constant.delay_for(heavy) == 3.0
+        assert constant.delay_for(light) == 3.0
+
+        footprint = ProgressAwareRebalance(migration_delay="footprint")
+        assert footprint.delay_for(heavy) == pytest.approx(
+            0.4 * FOOTPRINT_DELAY_SCALE
+        )
+        assert footprint.delay_for(light) == pytest.approx(
+            0.1 * FOOTPRINT_DELAY_SCALE
+        )
+
+        custom = MigrateOnExit(
+            migration_delay=lambda c: 2.0 * c.job.footprint.memory
+        )
+        assert custom.delay_for(heavy) == pytest.approx(0.8)
+
+    def test_bad_delay_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            ProgressAwareRebalance(migration_delay="checkpoint")
+        with pytest.raises(ConfigError):
+            MigrateOnExit(migration_delay=-0.5)
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w")
+        c = w.launch(_memory_job("j", 50.0, memory=0.1))
+        negative = ProgressAwareRebalance(migration_delay=lambda _c: -1.0)
+        with pytest.raises(ConfigError):
+            negative.delay_for(c)
+
+    def test_describe_names_the_model(self):
+        assert "footprint" in ProgressAwareRebalance(
+            migration_delay="footprint"
+        ).describe()
+        assert "3s" in ProgressAwareRebalance(migration_delay=3.0).describe()
+
+    def _two_victim_cluster(self, policy):
+        """Donor with a heavy (cid-first) and a light container; idle target.
+
+        Same job size and demand, so progress rates tie and the
+        historical tie-break (lowest cid = the heavy container) decides
+        the preferred migrant under a constant delay model.
+        """
+        sim = Simulator(seed=0, trace=False)
+        donor = _worker(sim, "donor")
+        target = _worker(sim, "idle")
+        policy.bind(sim)
+        heavy = donor.launch(_memory_job("heavy", 30.0, memory=0.9))
+        light = donor.launch(_memory_job("light", 30.0, memory=0.05))
+        # Two observation passes so both containers grow a progress rate.
+        sim.schedule(5.0, lambda e: None)
+        sim.schedule(10.0, lambda e: None)
+        sim.run(until=6.0)
+        assert policy.plan([donor, target]) == []  # single sample: no rate
+        sim.run(until=11.0)
+        return sim, donor, target, heavy, light
+
+    def test_constant_delay_prefers_the_slowest_tiebreak_cid(self):
+        policy = ProgressAwareRebalance(migration_delay=3.0)
+        _, donor, target, heavy, _light = self._two_victim_cluster(policy)
+        moves = policy.plan([donor, target])
+        assert moves and moves[0].container is heavy
+
+    def test_heavy_container_stops_being_preferred_under_footprint(self):
+        """Checkpoint cost outweighs the share gain for the heavy job.
+
+        Expected saving is (1 − 1/gain) · remaining/share ≈ 25 s here;
+        the heavy container's footprint delay (0.9 × 40 = 36 s) exceeds
+        it, the light one's (2 s) does not — so the plan skips the
+        heavy container the constant model would have moved.
+        """
+        policy = ProgressAwareRebalance(migration_delay="footprint")
+        _, donor, target, _heavy, light = self._two_victim_cluster(policy)
+        moves = policy.plan([donor, target])
+        assert moves and moves[0].container is light
+
+    def test_footprint_delay_lands_in_manager_records(self):
+        from repro.cluster.rebalance import FOOTPRINT_DELAY_SCALE
+
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            _worker(sim, "w0", capacity=1.0),
+            _worker(sim, "w1", capacity=0.25),
+        ]
+        manager = Manager(
+            sim,
+            workers,
+            rebalance=ProgressAwareRebalance(
+                migration_delay="footprint", min_gain=1.2
+            ),
+        )
+        done = _collect_completions(workers)
+        manager.submit_all(
+            [
+                JobSubmission(
+                    label=f"Job-{i}",
+                    job=_memory_job(f"Job-{i}", 120.0, memory=0.2),
+                    submit_time=0.0,
+                )
+                for i in range(1, 5)
+            ]
+        )
+        sim.run_until_empty()
+        assert len(done) == 4
+        for label, count in manager.migrations.items():
+            assert manager.migration_delays[label] == pytest.approx(
+                0.2 * FOOTPRINT_DELAY_SCALE * count
+            )
+
+
+class TestDrainingWorkers:
+    def test_draining_worker_is_no_migration_target(self):
+        from repro.cluster.rebalance import _has_headroom
+
+        sim = Simulator(seed=0, trace=False)
+        w = _worker(sim, "w", slots=4)
+        assert _has_headroom(w, 0)
+        w.draining = True
+        assert not _has_headroom(w, 0)
+
+    def test_migrate_on_exit_skips_draining_targets(self):
+        sim = Simulator(seed=0, trace=False)
+        donor = _worker(sim, "donor")
+        idle = _worker(sim, "idle")
+        for i in range(4):
+            donor.launch(make_linear_job(f"j{i}", 200.0))
+        idle.draining = True
+        assert MigrateOnExit().plan([donor, idle]) == []
+        idle.draining = False
+        assert MigrateOnExit().plan([donor, idle])

@@ -55,3 +55,45 @@ class TestRandom:
             "mnist@pytorch",
             "gru@tensorflow",
         }
+
+
+class TestMultiTenant:
+    def test_two_unequal_weight_tenants(self):
+        from repro.experiments.scenarios import multi_tenant
+
+        sc = multi_tenant(seed=3)
+        assert sc.tenant_names == ("batch", "interactive")
+        assert sc.admission == "wfq"
+        interactive = [s for s in sc.specs if s.tenant == "interactive"]
+        batch = [s for s in sc.specs if s.tenant == "batch"]
+        assert len(interactive) + len(batch) == len(sc.specs)
+        assert len(batch) > len(interactive)  # the flood vs the light tenant
+        assert all(s.weight == 4.0 for s in interactive)
+        assert all(s.weight == 1.0 for s in batch)
+
+    def test_deterministic_tenant_assignment(self):
+        from repro.experiments.scenarios import multi_tenant
+
+        a = multi_tenant(seed=1)
+        b = multi_tenant(seed=1)
+        assert [(s.label, s.tenant, s.weight) for s in a.specs] == [
+            (s.label, s.tenant, s.weight) for s in b.specs
+        ]
+
+
+class TestElasticCluster:
+    def test_shape_is_undersized_and_recommends_autoscale(self):
+        from repro.experiments.scenarios import elastic_cluster
+
+        sc = elastic_cluster(seed=3)
+        assert sc.n_workers == 2
+        assert sc.autoscale == "queue_depth"
+        assert all(n is not None for n in sc.max_containers)
+
+    def test_seeded_reproducibility(self):
+        from repro.experiments.scenarios import elastic_cluster
+
+        a, b = elastic_cluster(seed=4), elastic_cluster(seed=4)
+        assert [s.submit_time for s in a.specs] == [
+            s.submit_time for s in b.specs
+        ]

@@ -33,6 +33,58 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--rebalance", "gandiva"])
 
+    def test_admission_and_autoscale_choices(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.admission == "fifo" and args.autoscale == "none"
+        args = build_parser().parse_args(
+            ["compare", "--admission", "wfq", "--autoscale", "queue_depth"]
+        )
+        assert args.admission == "wfq"
+        assert args.autoscale == "queue_depth"
+        args = build_parser().parse_args(
+            ["sweep", "--admission", "sjf", "--autoscale", "progress"]
+        )
+        assert args.admission == "sjf"
+        assert args.autoscale == "progress"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--admission", "lifo"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--autoscale", "manual"])
+
+    def test_tenant_weights_parse(self):
+        args = build_parser().parse_args(
+            ["compare", "--tenant-weights", "interactive=4", "batch=1"]
+        )
+        assert args.tenant_weights == ["interactive=4", "batch=1"]
+
+    def test_bad_tenant_weights_rejected(self):
+        from repro.cli import _parse_tenant_weights
+        from repro.errors import ExperimentError
+
+        assert _parse_tenant_weights(["a=2", "b=0.5"]) == {
+            "a": 2.0, "b": 0.5,
+        }
+        for bad in (["a"], ["=2"], ["a=0"], ["a=-1"], ["a=x"]):
+            with pytest.raises(ExperimentError):
+                _parse_tenant_weights(bad)
+
+    def test_slots_flag_parses(self):
+        args = build_parser().parse_args(["compare", "--slots", "2"])
+        assert args.slots == 2
+        args = build_parser().parse_args(["sweep", "--slots", "3"])
+        assert args.slots == 3
+        assert build_parser().parse_args(["compare"]).slots is None
+
+    def test_more_tenants_than_jobs_is_a_clean_cli_error(self, capsys):
+        # 3 jobs, 4 tenants: must exit via the CLI error path, not a
+        # raw MetricsError traceback from the per-tenant report.
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1",
+            "--tenant-weights", "a=1", "b=1", "c=1", "d=1",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "tenant" in err
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -80,3 +132,14 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "itval=20" in out
+
+    def test_compare_with_wfq_tenants(self, capsys):
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1", "--workers", "2",
+            "--admission", "wfq",
+            "--tenant-weights", "interactive=4", "batch=1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "admission wfq" in out
+        assert "tenant batch" in out and "tenant interactive" in out
+        assert "p95 queue delay" in out

@@ -73,3 +73,17 @@ class TestSimulationConfig:
     def test_with_params(self):
         cfg = SimulationConfig().with_params(seed=9)
         assert cfg.seed == 9
+
+
+class TestSchedulingPolicyFields:
+    def test_admission_default_and_validation(self):
+        assert SimulationConfig().admission == "fifo"
+        SimulationConfig(admission="wfq")
+        with pytest.raises(ConfigError):
+            SimulationConfig(admission="lifo")
+
+    def test_autoscale_default_and_validation(self):
+        assert SimulationConfig().autoscale == "none"
+        SimulationConfig(autoscale="queue_depth")
+        with pytest.raises(ConfigError):
+            SimulationConfig(autoscale="manual")
