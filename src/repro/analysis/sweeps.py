@@ -71,6 +71,7 @@ def sweep_grid(
     rebalance: str | None = None,
     admission: str | None = None,
     autoscale: str | None = None,
+    failures: str | None = None,
     max_containers: int | None = None,
 ) -> SweepGrid:
     """Run FlowCon over an (α × itval) grid against one shared NA run.
@@ -91,7 +92,7 @@ def sweep_grid(
         are independent runs, so ``workers=N`` executes the grid N-wide
         with identical results.
     n_workers / placement / rebalance / admission / autoscale /
-    max_containers:
+    failures / max_containers:
         Simulated cluster shape shared by every cell (and the NA
         reference), forwarded to the unified runner.  Admission and
         autoscale policies only act when ``max_containers`` bounds the
@@ -121,6 +122,7 @@ def sweep_grid(
         rebalance=rebalance,
         admission=admission,
         autoscale=autoscale,
+        failures=failures,
         max_containers=max_containers,
     )
     na_summary = records[0].summary()

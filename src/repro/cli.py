@@ -31,7 +31,7 @@ from repro.cluster.placement import PLACEMENTS
 from repro.cluster.rebalance import REBALANCERS
 from repro.config import FlowConConfig, SimulationConfig
 from repro.core.policy import FlowConPolicy
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError, UnknownPolicyError
 from repro.experiments import figures as F
 from repro.experiments import tables as T
 from repro.experiments.report import (
@@ -242,6 +242,7 @@ def _cmd_compare(args) -> int:
         rebalance=args.rebalance,
         admission=args.admission,
         autoscale=args.autoscale,
+        failures=args.failures,
         max_containers=args.slots,
     )
     na = run_cluster(specs, NAPolicy, sim_cfg, **cluster)
@@ -284,6 +285,13 @@ def _cmd_compare(args) -> int:
             f"{fc.summary.peak_fleet()} (FlowCon); "
             f"{na.summary.fleet_changes()} scale events (NA)"
         )
+    if args.failures != "none":
+        print(
+            f"failures: {na.summary.total_retries()} crash-restarts / "
+            f"{len(na.summary.failed_jobs)} exhausted (NA), "
+            f"{fc.summary.total_retries()} / "
+            f"{len(fc.summary.failed_jobs)} (FlowCon)"
+        )
     return 0
 
 
@@ -298,6 +306,7 @@ def _cmd_sweep(args) -> int:
         rebalance=args.rebalance,
         admission=args.admission,
         autoscale=args.autoscale,
+        failures=args.failures,
         max_containers=args.slots,
     )
     suffix = (
@@ -362,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="none",
                        help="worker-fleet autoscaling from queue "
                             "depth/backlog signals")
+    p_cmp.add_argument("--failures", default="none", metavar="SPEC",
+                       help="failure-injector spec, optionally with a "
+                            "durability suffix (e.g. none, random, "
+                            "rolling:checkpoint(60))")
     p_cmp.add_argument("--tenant-weights", nargs="+", metavar="NAME=W",
                        default=None,
                        help="assign jobs round-robin to weighted tenants "
@@ -390,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--autoscale", choices=sorted(AUTOSCALERS),
                          default="none",
                          help="worker-fleet autoscaling policy")
+    p_sweep.add_argument("--failures", default="none", metavar="SPEC",
+                         help="failure-injector spec (e.g. none, random, "
+                              "rolling:checkpoint(60))")
 
     sub.add_parser(
         "validate",
@@ -435,7 +451,9 @@ def main(argv: list[str] | None = None) -> int:
         args.seed = 1 if args.number in (3, 4, 5, 6, 7, 8) else 42
     try:
         return _COMMANDS[args.command](args)
-    except ExperimentError as exc:
+    except (ExperimentError, ConfigError, UnknownPolicyError) as exc:
+        # UnknownPolicyError covers free-form specs like --failures,
+        # which argparse choices= cannot validate upfront.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

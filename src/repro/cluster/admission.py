@@ -55,7 +55,7 @@ import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Mapping
 
-from repro.errors import ClusterError, ConfigError
+from repro.errors import ClusterError, ConfigError, UnknownPolicyError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (manager ← worker)
     from repro.cluster.submission import JobSubmission
@@ -305,7 +305,7 @@ def make_admission(
     try:
         cls = ADMISSIONS[admission]
     except (KeyError, TypeError):
-        raise ClusterError(
+        raise UnknownPolicyError(
             f"unknown admission {admission!r}; choose from {sorted(ADMISSIONS)}"
         ) from None
     if tenant_weights:

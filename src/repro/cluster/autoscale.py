@@ -53,7 +53,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING
 
-from repro.errors import ClusterError, ConfigError
+from repro.errors import ClusterError, ConfigError, UnknownPolicyError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (manager ← worker)
     from repro.cluster.manager import Manager
@@ -312,7 +312,7 @@ def make_autoscale(
     try:
         cls = AUTOSCALERS[autoscale]
     except (KeyError, TypeError):
-        raise ClusterError(
+        raise UnknownPolicyError(
             f"unknown autoscale {autoscale!r}; "
             f"choose from {sorted(AUTOSCALERS)}"
         ) from None

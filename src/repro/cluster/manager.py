@@ -56,6 +56,26 @@ fleet-size timeline lands in :attr:`fleet_timeline` and rides
 :class:`~repro.metrics.summary.RunSummary`.  The default ``"none"``
 policy is short-circuited entirely: bit-identical to the fixed-fleet
 manager.
+
+Failure injection
+-----------------
+A pluggable :class:`~repro.cluster.failures.FailureInjector` (fifth
+axis) schedules ``WORKER_FAIL`` events against the fleet.  A fail-stop
+crash detaches the worker — placement, migration, and autoscaling all
+stop seeing it — cancels any migration still in flight *towards* it, and
+resolves every resident container through the injector's
+:class:`~repro.cluster.failures.DurabilityModel`: the job is rolled back
+to whatever work survived, and the orphan re-queues through the existing
+admission policy with its original tenant/weight/priority, consuming one
+unit of the submission's ``retry_budget``.  Exhausted jobs land in
+:attr:`Manager.failed` with their retry counts and lost work, keeping
+accounting exactly-once even though execution is at-least-once.
+Fail-slow faults degrade the victim's capacity in place.  Recovery
+(``WORKER_RECOVER``) re-arms the node like an autoscale provision: it
+rejoins empty, :attr:`recover_hooks` fire (the runner restarts the
+recorder and attaches a fresh scheduling policy), and the queue drains
+into the recovered capacity.  The default ``"none"`` injector is
+short-circuited entirely: bit-identical to the failure-free manager.
 """
 
 from __future__ import annotations
@@ -72,6 +92,12 @@ from repro.cluster.autoscale import (
     NoAutoscale,
     make_autoscale,
 )
+from repro.cluster.failures import (
+    FailureInjector,
+    NoFailures,
+    WorkerFault,
+    make_failures,
+)
 from repro.cluster.placement import PlacementPolicy, make_placement
 from repro.cluster.rebalance import (
     Migration,
@@ -83,6 +109,7 @@ from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 from repro.errors import ClusterError
 from repro.simcore.engine import Simulator
+from repro.simcore.equeue import EventHandle
 from repro.simcore.events import PRIORITY_ARRIVAL, Event, EventKind
 
 __all__ = ["Placement", "Manager"]
@@ -141,6 +168,12 @@ class Manager:
         An :class:`~repro.cluster.autoscale.AutoscalePolicy` instance or
         registry name (``"none"``, ``"queue_depth"``, ``"progress"``);
         ``None`` means a fixed fleet, the historical default.
+    failures:
+        A :class:`~repro.cluster.failures.FailureInjector` instance or
+        spec string (``"none"``, ``"random"``, ``"rolling"``,
+        ``"az_outage"``, ``"slow"``, optionally with a durability suffix
+        like ``"rolling:checkpoint(60)"``); ``None`` means fair weather,
+        the historical default.
     worker_factory:
         ``name -> Worker`` builder for autoscale-provisioned nodes.
         ``None`` (default) clones the first initial worker's shape
@@ -156,6 +189,7 @@ class Manager:
         rebalance: RebalancePolicy | str | None = None,
         admission: AdmissionPolicy | str | None = None,
         autoscale: AutoscalePolicy | str | None = None,
+        failures: FailureInjector | str | None = None,
         worker_factory: WorkerFactory | None = None,
     ) -> None:
         if not workers:
@@ -173,22 +207,12 @@ class Manager:
         self.admission.bind(sim)
         self.autoscale = make_autoscale(autoscale)
         self.autoscale.bind(sim, len(self.workers))
+        self.failures = make_failures(failures)
         self.worker_factory = worker_factory
-        rebalance_armed = not isinstance(self.rebalance, NoRebalance)
-        elastic = not isinstance(self.autoscale, NoAutoscale)
-        if rebalance_armed and (len(self.workers) > 1 or elastic):
-            # Live migration lets a container meet brand-new observers on
-            # its target worker, whose first sampling window legitimately
-            # reaches back to the container's creation time — checkpoint
-            # history must therefore be kept whole.  Without rebalancing
-            # (or with a single fixed worker, where no migration target
-            # can ever exist) the observation bus prunes history down to
-            # the oldest live observation window.
-            for worker in self.workers:
-                worker.obsbus.prune = False
-        self._prune_disabled = rebalance_armed and (
-            len(self.workers) > 1 or elastic
-        )
+        # Checkpoint pruning stays enabled even with rebalancing armed:
+        # a migrated container's new-node observers are window-seeded at
+        # the attach instant (Worker.attach), so nobody opens a window
+        # below the pruned floor.
         self.placements: dict[str, Placement] = {}
         #: label → queueing delay, for jobs that actually waited (>0 s).
         self.queue_delays: dict[str, float] = {}
@@ -210,13 +234,42 @@ class Manager:
         self.provision_hooks: list = []
         #: Hooks invoked with each retired worker after it leaves: f(worker).
         self.retire_hooks: list = []
+        #: Hooks invoked with each crashed worker after it leaves: f(worker).
+        self.fail_hooks: list = []
+        #: Hooks invoked with each recovered worker after it rejoins: f(worker).
+        self.recover_hooks: list = []
+        #: label → crash-restart count, for jobs restarted at least once.
+        self.retries: dict[str, int] = {}
+        #: label → (retries used, CPU-seconds lost) for retry-exhausted jobs.
+        self.failed: dict[str, tuple[int, float]] = {}
+        #: label → total CPU-seconds of progress lost to crashes.
+        self.lost_work: dict[str, float] = {}
+        #: Names of workers that have crashed at least once (never removed;
+        #: a stale placement record may still point at one of these).
+        self.crashed_workers: set[str] = set()
         self._labels: set[str] = set()
         self._pending: int = 0
         self._in_flight: int = 0
         self._provisions_pending: int = 0
         self._next_worker_idx = len(self.workers)
+        #: label → original submission for every *resident* job, so a
+        #: crash can re-queue orphans with their original tenant, weight,
+        #: priority and retry budget (tracked only when failures are armed).
+        self._active_submissions: dict[str, JobSubmission] = {}
+        #: cid → (arrival event, container, target) for migrations still
+        #: in flight — a crash of the target must cancel the arrival.
+        self._inflight_migrations: dict[
+            int, tuple[EventHandle, object, Worker]
+        ] = {}
+        #: Template for the default worker factory, captured up front so
+        #: provisioning survives even a whole-fleet outage.
+        self._worker_template = self.workers[0]
         for worker in self.workers:
             worker.exit_hooks.append(self._on_worker_exit)
+        self._failures_armed = not isinstance(self.failures, NoFailures)
+        if self._failures_armed:
+            # Bind last: fault plans may inspect the fully wired fleet.
+            self.failures.bind(sim, self)
 
     # -- submission ---------------------------------------------------------------
 
@@ -273,6 +326,8 @@ class Manager:
             self.queue_delays[submission.label] = delay
         if submission.tenant is not None:
             self.tenants[submission.label] = submission.tenant
+        if self._failures_armed:
+            self._active_submissions[submission.label] = submission
         self._pending -= 1
         if self._pending == 0:
             # No accepted submission is still waiting to be placed: the
@@ -344,13 +399,16 @@ class Manager:
             self._place(self.admission.pop(), eligible)
         return True
 
-    def _on_worker_exit(self, _container) -> None:
+    def _on_worker_exit(self, container) -> None:
         """Worker exit hook: drain the admission queue, then rebalance.
 
         The rebalance pass runs only when the queue fully drained (a
         backlog implies no free slot to migrate into); the autoscale
         pass always runs — the backlog is precisely its scale-up signal.
         """
+        if self._failures_armed:
+            # The job completed: no crash can orphan it anymore.
+            self._active_submissions.pop(container.name, None)
         if self._drain_queue():
             self._rebalance_pass()
         self._autoscale_pass()
@@ -402,17 +460,23 @@ class Manager:
             return
         move.target.reserve_slot()
         self._in_flight += 1
-        self.sim.schedule(
+        handle = self.sim.schedule(
             self.sim.now + delay,
             self._on_migration_arrival,
             kind=EventKind.CONTAINER_MIGRATION,
             priority=PRIORITY_ARRIVAL,
             payload=(container, move.target),
         )
+        # Remember the arrival so a crash of the target can cancel it
+        # (the travelling container then becomes an orphan of the crash).
+        self._inflight_migrations[container.cid] = (
+            handle, container, move.target
+        )
 
     def _on_migration_arrival(self, event: Event) -> None:
         """An in-flight container reaches its target worker."""
         container, target = event.payload
+        self._inflight_migrations.pop(container.cid, None)
         target.release_reservation()
         self._in_flight -= 1
         target.attach(container)
@@ -475,8 +539,6 @@ class Manager:
         self._next_worker_idx += 1
         factory = self.worker_factory or self._default_worker_factory
         worker = factory(name)
-        if self._prune_disabled:
-            worker.obsbus.prune = False
         worker.exit_hooks.append(self._on_worker_exit)
         self.workers.append(worker)
         self.fleet_timeline.append((self.sim.now, len(self.workers)))
@@ -492,7 +554,7 @@ class Manager:
 
     def _default_worker_factory(self, name: str) -> Worker:
         """Clone the initial fleet's shape for a provisioned node."""
-        template = self.workers[0]
+        template = self._worker_template
         return Worker(
             self.sim,
             name=name,
@@ -557,6 +619,179 @@ class Manager:
         for hook in self.retire_hooks:
             hook(worker)
 
+    # -- failure injection -------------------------------------------------------------
+
+    def schedule_fault(self, fault: WorkerFault) -> None:
+        """Schedule one injected fault as a ``WORKER_FAIL`` event.
+
+        Public so that injectors (at bind time) and tests/examples (at
+        any time ≥ now) can drive the same code path.
+        """
+        self.sim.schedule(
+            fault.time,
+            self._on_fault,
+            kind=EventKind.WORKER_FAIL,
+            priority=PRIORITY_ARRIVAL,
+            payload=fault,
+        )
+
+    def _on_fault(self, event: Event) -> None:
+        """An injected fault fires against a (possibly departed) worker."""
+        fault: WorkerFault = event.payload
+        worker = next(
+            (w for w in self.workers if w.name == fault.worker), None
+        )
+        if worker is None:
+            # Already crashed or autoscale-retired: the fault races real
+            # fleet dynamics and loses.
+            return
+        if fault.kind == "slow":
+            self._degrade_worker(worker, fault)
+        else:
+            self._crash_worker(worker, fault)
+
+    def _degrade_worker(self, worker: Worker, fault: WorkerFault) -> None:
+        """Fail-slow: capacity degrades in place; containers keep running."""
+        original = worker.capacity
+        worker.set_capacity(original * fault.capacity_factor)
+        self.sim.trace(
+            "manager.fault",
+            f"{worker.name} degraded to {worker.capacity:g} CPU "
+            f"(×{fault.capacity_factor:g} fail-slow)",
+        )
+        if fault.recover_after is not None:
+            self.sim.schedule_in(
+                fault.recover_after,
+                self._on_slow_recover,
+                kind=EventKind.WORKER_RECOVER,
+                priority=PRIORITY_ARRIVAL,
+                payload=(worker, original),
+            )
+
+    def _on_slow_recover(self, event: Event) -> None:
+        """A degraded worker's capacity is restored.
+
+        Restored even if the node crashed or was retired in the interim
+        (both leave it empty, so the reallocation is a no-op): a node
+        that later rejoins must come back at full health.
+        """
+        worker, capacity = event.payload
+        worker.set_capacity(capacity)
+        self.sim.trace(
+            "manager.fault",
+            f"{worker.name} recovered to {capacity:g} CPU",
+        )
+
+    def _crash_worker(self, worker: Worker, fault: WorkerFault) -> None:
+        """Fail-stop: detach the worker and resolve its orphans."""
+        # Migrations still in flight *towards* the dead node can never
+        # arrive: cancel them and fold their containers into the orphan
+        # set.  (Migrations *from* it already left and are unaffected.)
+        stranded = []
+        for cid, (handle, container, target) in list(
+            self._inflight_migrations.items()
+        ):
+            if target is worker:
+                self.sim.cancel(handle)
+                del self._inflight_migrations[cid]
+                self._in_flight -= 1
+                stranded.append(container)
+        orphans = worker.crash() + stranded
+        worker.exit_hooks.remove(self._on_worker_exit)
+        self.workers.remove(worker)
+        self.crashed_workers.add(worker.name)
+        self.fleet_timeline.append((self.sim.now, len(self.workers)))
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "manager.fault",
+                f"{worker.name} crashed "
+                f"({len(orphans)} containers orphaned, "
+                f"fleet size {len(self.workers)})",
+            )
+        for hook in tuple(self.fail_hooks):
+            hook(worker)
+        for container in orphans:
+            self._resolve_orphan(container)
+        if fault.recover_after is not None:
+            self.sim.schedule_in(
+                fault.recover_after,
+                self._on_worker_recover,
+                kind=EventKind.WORKER_RECOVER,
+                priority=PRIORITY_ARRIVAL,
+                payload=worker,
+            )
+        self._autoscale_pass()
+
+    def _resolve_orphan(self, container) -> None:
+        """Re-queue or fail one container orphaned by a crash.
+
+        The durability model decides how much work survives; the job is
+        rolled back to it and the *original* submission re-enters through
+        the normal arrival path (admission order, tenant, weight and
+        priority all preserved) after the model's restore delay — unless
+        the retry budget is exhausted, in which case the job lands in
+        :attr:`failed` and is never executed again.
+        """
+        label = container.name
+        submission = self._active_submissions.get(label)
+        resume_work, restore_delay = self.failures.durability.on_crash(
+            container
+        )
+        lost = max(0.0, container.job.work_done - resume_work)
+        self.lost_work[label] = self.lost_work.get(label, 0.0) + lost
+        used = self.retries.get(label, 0)
+        if submission is None or used >= submission.retry_budget:
+            self.failed[label] = (used, self.lost_work[label])
+            self._active_submissions.pop(label, None)
+            if self.sim.trace_enabled:
+                self.sim.trace(
+                    "manager.fault",
+                    f"{label} failed permanently after {used} retries "
+                    f"({self.lost_work[label]:.1f} CPU-s lost)",
+                )
+            return
+        self.retries[label] = used + 1
+        container.job.work_done = resume_work
+        self._pending += 1
+        self.sim.schedule(
+            self.sim.now + restore_delay,
+            self._on_arrival,
+            kind=EventKind.JOB_ARRIVAL,
+            priority=PRIORITY_ARRIVAL,
+            payload=submission,
+        )
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "manager.fault",
+                f"re-queued {label} (retry {self.retries[label]}"
+                f"/{submission.retry_budget}, resume from "
+                f"{resume_work:.1f} CPU-s"
+                + (
+                    f", {restore_delay:.1f}s restore" if restore_delay > 0
+                    else ""
+                )
+                + ")",
+            )
+
+    def _on_worker_recover(self, event: Event) -> None:
+        """A crashed worker rejoins the fleet, empty and at full health."""
+        worker: Worker = event.payload
+        if any(w.name == worker.name for w in self.workers):
+            return  # pragma: no cover - defensive (double recovery)
+        worker.exit_hooks.append(self._on_worker_exit)
+        self.workers.append(worker)
+        self.fleet_timeline.append((self.sim.now, len(self.workers)))
+        self.sim.trace(
+            "manager.fault",
+            f"{worker.name} recovered and rejoined "
+            f"(fleet size {len(self.workers)})",
+        )
+        for hook in tuple(self.recover_hooks):
+            hook(worker)
+        if self._drain_queue():
+            self._rebalance_pass()
+        self._autoscale_pass()
+
     # -- views ------------------------------------------------------------------------
 
     @property
@@ -596,6 +831,10 @@ class Manager:
     def queued_labels(self) -> list[str]:
         """Labels waiting in the admission queue, in drain order."""
         return [sub.label for sub in self.admission.queued()]
+
+    def inflight_cids(self) -> list[int]:
+        """Container ids currently migrating between workers."""
+        return list(self._inflight_migrations)
 
     def placement_of(self, label: str) -> Placement:
         """Placement record for a job label."""

@@ -25,10 +25,12 @@ Checkpoint pruning
 After each pass the bus prunes every observed container's checkpoint
 history below the oldest window start any registered subscriber can
 still ask for, bounding history by the longest live observation window
-instead of the run length.  Pruning is disabled (:attr:`prune`) by the
-manager whenever a rebalance policy may migrate containers, because a
-migrated container's *new* observers legitimately open windows all the
-way back to its creation time.
+instead of the run length.  Pruning stays enabled under live migration:
+a migrated container's new-node subscribers have their first windows
+seeded at the attach instant (:meth:`ObservationBus.seed_windows`), so
+nobody needs pre-migration history from the new bus, and a cross-worker
+subscriber whose held-over window fell below an already-pruned floor is
+clamped to that floor on its next sample.
 """
 
 from __future__ import annotations
@@ -127,10 +129,14 @@ class BusSampler:
         """
         cid = obs.cid
         t_prev = self._last_sample.get(cid)
-        if t_prev is None:
+        if t_prev is None or t_prev < obs.account.history_floor:
             # First sample: window from creation — or from the pruned
-            # floor for a subscriber that registered after pruning began
-            # (identical on unpruned accounts, where floor == creation).
+            # floor for a subscriber that registered after pruning began.
+            # A held-over window can also fall below the floor when a
+            # cross-worker subscriber re-registers after the container
+            # migrated and the new bus pruned first; clamping to the
+            # floor is identical on unpruned accounts, where the floor
+            # still sits at creation time.
             t_prev = obs.account.history_floor
         time = obs.time
         if time <= t_prev:
@@ -198,6 +204,20 @@ class ObservationBus:
             self._samplers.remove(sampler)
         except ValueError:
             pass
+
+    def seed_windows(self, cid: int, time: float) -> None:
+        """Start every subscriber's window for *cid* at *time*.
+
+        Called when a migrated (or crash-restored) container attaches to
+        this bus's worker: subscribers that have never seen the container
+        open their first window at the attach instant rather than
+        reaching back to its creation on another node — which is what
+        lets checkpoint pruning stay enabled fleet-wide under
+        rebalancing.  Subscribers that already hold a window (cross-worker
+        observers following the container) are left untouched.
+        """
+        for sampler in self._samplers:
+            sampler._last_sample.setdefault(cid, time)
 
     # -- the shared pass ---------------------------------------------------
 

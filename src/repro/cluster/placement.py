@@ -30,7 +30,7 @@ import abc
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.signals import ProgressObserver
-from repro.errors import ClusterError
+from repro.errors import ClusterError, UnknownPolicyError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (worker ← manager)
     from repro.cluster.submission import JobSubmission
@@ -243,7 +243,7 @@ def make_placement(placement: str | PlacementPolicy | None) -> PlacementPolicy:
     try:
         cls = PLACEMENTS[placement]
     except (KeyError, TypeError):
-        raise ClusterError(
+        raise UnknownPolicyError(
             f"unknown placement {placement!r}; choose from {sorted(PLACEMENTS)}"
         ) from None
     return cls()

@@ -66,7 +66,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 from repro.cluster.signals import ProgressObserver
-from repro.errors import ClusterError, ConfigError
+from repro.errors import ClusterError, ConfigError, UnknownPolicyError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (manager ← worker)
     from repro.containers.container import Container
@@ -483,7 +483,7 @@ def make_rebalance(
     try:
         cls = REBALANCERS[rebalance]
     except (KeyError, TypeError):
-        raise ClusterError(
+        raise UnknownPolicyError(
             f"unknown rebalance {rebalance!r}; choose from {sorted(REBALANCERS)}"
         ) from None
     return cls()

@@ -50,6 +50,11 @@ class JobSubmission:
     priority:
         Priority class for the ``"priority"`` admission policy; higher
         drains first, ties break FIFO.
+    retry_budget:
+        How many times the manager may restart this job after a worker
+        crash orphans it.  A job whose budget is exhausted fails
+        permanently (it lands in ``RunSummary.failed_jobs`` instead of
+        the completions).  0 means fail on the first crash.
     """
 
     label: str
@@ -59,9 +64,14 @@ class JobSubmission:
     tenant: str | None = None
     weight: float = 1.0
     priority: int = 0
+    retry_budget: int = 3
 
     def __post_init__(self) -> None:
         if self.submit_time < 0:
             raise ValueError(f"negative submit_time {self.submit_time!r}")
         if self.weight <= 0:
             raise ValueError(f"weight must be positive, got {self.weight!r}")
+        if self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be >= 0, got {self.retry_budget!r}"
+            )

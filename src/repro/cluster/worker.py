@@ -279,6 +279,11 @@ class Worker:
         self.settle()
         self.runtime.adopt(container)
         self.pool.add(container, self.sim.now)
+        # This node's existing subscribers start their windows at the
+        # attach instant rather than reaching back to the container's
+        # creation on its old node — the bus can then keep pruning
+        # checkpoint history even while migrations are armed.
+        self.obsbus.seed_windows(container.cid, self.sim.now)
         if self.sim.trace_enabled:
             self.sim.trace(
                 "worker.attach",
@@ -289,6 +294,57 @@ class Worker:
         for hook in self.launch_hooks:
             hook(container)
         return container
+
+    # -- failure injection -------------------------------------------------------
+
+    def crash(self) -> list[Container]:
+        """Fail-stop: drop every resident container, without exit hooks.
+
+        Settles first so every CPU-second delivered up to the crash
+        instant is in the jobs (what a durability model then loses is
+        exactly the work since its last checkpoint), cancels all
+        projected exits, releases every running container from the
+        runtime and pool, and clears reservations and draining state.
+        Returns the orphaned containers in cid order; no exit hooks fire
+        — nothing completed.  The worker object itself stays reusable:
+        recovery re-attaches the same (now empty) node to the fleet.
+        """
+        self.settle()
+        self._cancel_all_exits()
+        orphans = self.runtime.running()
+        for container in orphans:
+            self.runtime.release(container.cid)
+            self.pool.discard(container.cid, self.sim.now)
+        self._reserved = 0
+        self.draining = False
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "worker.crash",
+                f"{self.name}: crashed with {len(orphans)} containers "
+                "resident",
+            )
+        self._reallocate()
+        return orphans
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change node capacity in place (fail-slow injection/recovery).
+
+        Settles at the old rate first, so the change takes effect exactly
+        now, then reallocates — every resident container's share and
+        projected exit move to the new rate.
+        """
+        if capacity <= 0:
+            raise CapacityError(
+                f"capacity must be positive, got {capacity!r}"
+            )
+        self.settle()
+        self.capacity = float(capacity)
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "worker.capacity",
+                f"{self.name}: capacity set to {self.capacity:g} CPU",
+            )
+        self._reallocate()
 
     def reserve_slot(self) -> None:
         """Hold an admission slot for an in-flight migration."""

@@ -165,6 +165,13 @@ class SimulationConfig:
         :mod:`repro.cluster.autoscale`).  ``"none"`` (historical
         behaviour) keeps the fleet fixed and is bit-identical to the
         pre-autoscaling manager.
+    failures:
+        Default failure-injector spec (``"none"``, ``"random"``,
+        ``"rolling"``, ``"az_outage"``, ``"slow"``, optionally with a
+        durability suffix like ``"rolling:checkpoint(60)"``; see
+        :mod:`repro.cluster.failures`).  ``"none"`` (historical
+        behaviour) injects nothing and is bit-identical to the
+        failure-free manager.
     """
 
     seed: int = 0
@@ -179,6 +186,7 @@ class SimulationConfig:
     rebalance: str = "none"
     admission: str = "fifo"
     autoscale: str = "none"
+    failures: str = "none"
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -218,6 +226,14 @@ class SimulationConfig:
                 f"unknown autoscale {self.autoscale!r}; "
                 f"choose from {sorted(AUTOSCALERS)}"
             )
+        from repro.cluster.failures import make_failures
+
+        try:
+            # Full spec-string validation ("rolling:checkpoint(60)"
+            # carries arguments, so membership alone is not enough).
+            make_failures(self.failures)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
 
     def with_params(self, **kwargs) -> "SimulationConfig":
         """Functional update."""

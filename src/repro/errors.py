@@ -22,6 +22,7 @@ __all__ = [
     "CurveError",
     "ClusterError",
     "CapacityError",
+    "UnknownPolicyError",
     "SchedulerError",
     "ListMembershipError",
     "MetricsError",
@@ -99,6 +100,15 @@ class ClusterError(ReproError):
 
 class CapacityError(ClusterError):
     """A worker was asked to exceed its physical capacity."""
+
+
+class UnknownPolicyError(ClusterError, ValueError):
+    """A policy-axis name was not found in its registry.
+
+    Doubles as :class:`ValueError` so that CLI/config layers can surface a
+    clean "choose from [...]" message without importing the cluster layer,
+    while existing ``except ClusterError`` handlers keep working.
+    """
 
 
 # ---------------------------------------------------------------------------

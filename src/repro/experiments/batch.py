@@ -86,6 +86,11 @@ class RunTask:
         Autoscale-policy registry name (see
         :mod:`repro.cluster.autoscale`); carried by name.  ``None``
         defers to ``sim_config.autoscale``.
+    failures:
+        Failure-injector spec string (see
+        :mod:`repro.cluster.failures`); carried by spec for the same
+        picklability reason.  ``None`` defers to
+        ``sim_config.failures``.
     capacities:
         Optional per-worker CPU capacities (heterogeneous clusters).
     max_containers:
@@ -105,6 +110,7 @@ class RunTask:
     rebalance: str | None = None
     admission: str | None = None
     autoscale: str | None = None
+    failures: str | None = None
     capacities: tuple[float, ...] | None = None
     max_containers: int | tuple[int | None, ...] | None = None
     label: str = ""
@@ -119,7 +125,9 @@ class RunRecord:
     ``migrations``/``migration_delays`` carry the rebalancer's (empty
     under ``rebalance="none"``); ``tenants`` carries the label → tenant
     map of multi-tenant runs and ``fleet_timeline`` the autoscaler's
-    ``(time, worker count)`` trajectory.
+    ``(time, worker count)`` trajectory.  ``retries``/``failed_jobs``
+    carry the failure injector's crash-restart counts and
+    retry-exhausted jobs (empty under ``failures="none"``).
     """
 
     index: int
@@ -136,6 +144,8 @@ class RunRecord:
     migration_delays: tuple[tuple[str, float], ...] = ()
     tenants: tuple[tuple[str, str], ...] = ()
     fleet_timeline: tuple[tuple[float, int], ...] = ()
+    retries: tuple[tuple[str, int], ...] = ()
+    failed_jobs: tuple[tuple[str, tuple[int, float]], ...] = ()
     makespan: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -155,6 +165,8 @@ class RunRecord:
             migration_delays=dict(self.migration_delays),
             tenants=dict(self.tenants),
             fleet_timeline=self.fleet_timeline,
+            retries=dict(self.retries),
+            failed_jobs=dict(self.failed_jobs),
         )
 
     def completion_times(self) -> dict[str, float]:
@@ -187,6 +199,7 @@ def _execute_task(task: RunTask) -> RunRecord:
         rebalance=task.rebalance,
         admission=task.admission,
         autoscale=task.autoscale,
+        failures=task.failures,
         capacities=task.capacities,
         max_containers=task.max_containers,
     )
@@ -206,6 +219,8 @@ def _execute_task(task: RunTask) -> RunRecord:
         migration_delays=tuple(sorted(summary.migration_delays.items())),
         tenants=tuple(sorted(summary.tenants.items())),
         fleet_timeline=tuple(summary.fleet_timeline),
+        retries=tuple(sorted(summary.retries.items())),
+        failed_jobs=tuple(sorted(summary.failed_jobs.items())),
     )
 
 
@@ -268,6 +283,7 @@ def run_many(
     rebalance: str | None = None,
     admission: str | None = None,
     autoscale: str | None = None,
+    failures: str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
 ) -> list[RunRecord]:
@@ -294,7 +310,7 @@ def run_many(
     labels:
         Optional per-run labels carried into the records.
     n_workers / placement / rebalance / admission / autoscale /
-    capacities / max_containers:
+    failures / capacities / max_containers:
         Simulated-cluster shape shared by every run, forwarded to
         :func:`~repro.experiments.runner.run_cluster` (policies by
         registry name, to keep tasks picklable).
@@ -336,6 +352,7 @@ def run_many(
             rebalance=rebalance,
             admission=admission,
             autoscale=autoscale,
+            failures=failures,
             capacities=None if capacities is None else tuple(capacities),
             max_containers=(
                 max_containers

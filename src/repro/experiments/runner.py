@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 
 from repro.cluster.admission import AdmissionPolicy
 from repro.cluster.autoscale import AutoscalePolicy
+from repro.cluster.failures import FailureInjector
 from repro.cluster.manager import Manager
 from repro.cluster.placement import PlacementPolicy
 from repro.cluster.rebalance import RebalancePolicy
@@ -130,6 +131,7 @@ def run_cluster(
     rebalance: RebalancePolicy | str | None = None,
     admission: AdmissionPolicy | str | None = None,
     autoscale: AutoscalePolicy | str | None = None,
+    failures: FailureInjector | str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
 ) -> RunResult:
@@ -175,6 +177,14 @@ def run_cluster(
         (``cfg.capacity``/``cfg.max_containers``); each gets its own
         recorder and a fresh policy instance from the factory, exactly
         like the initial fleet.
+    failures:
+        Failure-injector instance or spec string (``"none"``,
+        ``"random"``, ``"rolling"``, ``"az_outage"``, ``"slow"``, with an
+        optional durability suffix like ``"rolling:checkpoint(60)"``);
+        ``None`` falls back to ``sim_config.failures`` (default
+        ``"none"``, the historical fair-weather behaviour).  Jobs whose
+        retry budget a crash plan exhausts land in
+        ``summary.failed_jobs`` instead of the completions.
     capacities:
         Optional per-worker CPU capacities for heterogeneous clusters.
     max_containers:
@@ -249,6 +259,7 @@ def run_cluster(
         rebalance=rebalance if rebalance is not None else cfg.rebalance,
         admission=admission if admission is not None else cfg.admission,
         autoscale=autoscale if autoscale is not None else cfg.autoscale,
+        failures=failures if failures is not None else cfg.failures,
         worker_factory=provisioned_worker,
     )
     recorders: dict[str, MetricsRecorder] = {}
@@ -270,10 +281,28 @@ def run_cluster(
         recorders[worker.name].stop()
         policies[worker.name].detach()
 
+    def on_worker_fail(worker: Worker) -> None:
+        # A crashed worker's recorder keeps its completions (they are
+        # part of the run) but stops sampling, and the scheduling policy
+        # tears down its periodic events — the node is gone.
+        uninstrument(worker)
+
+    def on_worker_recover(worker: Worker) -> None:
+        # Recovery re-arms like an autoscale provision: sampling resumes
+        # (the recorder re-installs nothing, so completions stay
+        # exactly-once) and a fresh policy attaches — executor state
+        # died with the node.
+        recorders[worker.name].start()
+        pol = policy_factory()
+        pol.attach(worker)
+        policies[worker.name] = pol
+
     for worker in workers:
         instrument(worker)
     manager.provision_hooks.append(instrument)
     manager.retire_hooks.append(uninstrument)
+    manager.fail_hooks.append(on_worker_fail)
+    manager.recover_hooks.append(on_worker_recover)
 
     manager.submit_all(
         [
@@ -285,15 +314,21 @@ def run_cluster(
                 tenant=spec.tenant,
                 weight=spec.weight,
                 priority=spec.priority,
+                retry_budget=spec.retry_budget,
             )
             for spec in specs
         ]
     )
 
     expected = len(specs)
-    # Step until every job completes; periodic recorder/scheduler events
-    # would keep an unconditional run() alive forever.
-    while sum(len(r.completions) for r in recorders.values()) < expected:
+    # Step until every job completes or permanently fails; periodic
+    # recorder/scheduler events would keep an unconditional run() alive
+    # forever.
+    while (
+        sum(len(r.completions) for r in recorders.values())
+        + len(manager.failed)
+        < expected
+    ):
         if cfg.horizon is not None and sim.now >= cfg.horizon:
             break
         event = sim.step()
@@ -302,6 +337,10 @@ def run_cluster(
             raise ExperimentError(
                 f"simulation stalled at t={sim.now:.1f}s with "
                 f"{done}/{expected} jobs complete"
+                + (
+                    f" ({len(manager.failed)} failed)"
+                    if manager.failed else ""
+                )
             )
 
     for recorder in recorders.values():
@@ -310,7 +349,10 @@ def run_cluster(
         pol.detach()
 
     completions = [c for r in recorders.values() for c in r.completions]
-    if len(completions) < expected and cfg.horizon is None:
+    if (
+        len(completions) + len(manager.failed) < expected
+        and cfg.horizon is None
+    ):
         raise ExperimentError("run ended with incomplete jobs")
     if not completions:
         raise MetricsError("no jobs completed within the horizon")
@@ -325,6 +367,8 @@ def run_cluster(
             migration_delays=dict(manager.migration_delays),
             tenants=dict(manager.tenants),
             fleet_timeline=tuple(manager.fleet_timeline),
+            retries=dict(manager.retries),
+            failed_jobs=dict(manager.failed),
         ),
         sim=sim,
         manager=manager,
@@ -358,6 +402,7 @@ def scaling_study(
     rebalance: str | None = None,
     admission: str | None = None,
     autoscale: str | None = None,
+    failures: str | None = None,
     workers: int = 1,
 ):
     """Run one workload across several cluster sizes, optionally in parallel.
@@ -383,9 +428,10 @@ def scaling_study(
     rebalance:
         Rebalance-policy registry name shared by every run; ``None``
         defers to ``sim_config.rebalance``.
-    admission / autoscale:
-        Admission-/autoscale-policy registry names shared by every run;
-        ``None`` defers to the config defaults.
+    admission / autoscale / failures:
+        Admission-/autoscale-policy registry names and failure-injector
+        spec shared by every run; ``None`` defers to the config
+        defaults.
     workers:
         *Host* process count for the batch runner (unrelated to the
         simulated cluster sizes).
@@ -411,6 +457,7 @@ def scaling_study(
             rebalance=rebalance,
             admission=admission,
             autoscale=autoscale,
+            failures=failures,
             label=f"{n}-worker",
         )
         for i, n in enumerate(cluster_sizes)

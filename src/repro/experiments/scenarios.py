@@ -34,6 +34,9 @@ __all__ = [
     "imbalanced_cluster",
     "multi_tenant",
     "elastic_cluster",
+    "rolling_restart",
+    "az_outage",
+    "slow_node",
 ]
 
 
@@ -128,6 +131,13 @@ class ClusterScenario:
     #: Autoscale policy the scenario is built to stress ("none" keeps
     #: the fleet fixed); purely a recommendation.
     autoscale: str = "none"
+    #: Rebalance policy the scenario is built to stress ("none" never
+    #: migrates); purely a recommendation.
+    rebalance: str = "none"
+    #: Failure-injector spec the scenario is built to stress ("none"
+    #: injects nothing); purely a recommendation — the chaos benches
+    #: override the durability suffix to compare lost vs checkpoint.
+    failures: str = "none"
 
     @property
     def n_workers(self) -> int:
@@ -244,4 +254,82 @@ def elastic_cluster(
         capacities=(1.0, 1.0),
         max_containers=(3, 3),
         autoscale="queue_depth",
+    )
+
+
+def _with_retry_budget(
+    specs: list[WorkloadSpec], retry_budget: int
+) -> tuple[WorkloadSpec, ...]:
+    return tuple(replace(s, retry_budget=retry_budget) for s in specs)
+
+
+def rolling_restart(
+    seed: int = 42, *, n_jobs: int = 16, retry_budget: int = 8
+) -> ClusterScenario:
+    """Maintenance-wave scenario: every worker restarts once, in turn.
+
+    Four bounded workers absorb a 60 s burst of jobs, then the
+    ``rolling`` injector takes each node down for 30 s in sequence
+    (one every 90 s, starting at t=60) — a kernel-upgrade wave hitting
+    a loaded cluster.  Every crash orphans mid-flight containers, so
+    the durability model dominates: under ``lost`` each wave restarts
+    its victims from zero, under ``checkpoint`` they resume from the
+    last periodic snapshot.  ``bench_perf_chaos.py`` measures the
+    makespan gap between the two on this shape.  The generous default
+    retry budget keeps jobs alive through repeated bad luck so the
+    comparison is about recovered work, not attrition.
+    """
+    gen = WorkloadGenerator(_rng(seed, "rolling"))
+    specs = gen.random_mix(n_jobs, window=(0.0, 60.0))
+    return ClusterScenario(
+        specs=_with_retry_budget(specs, retry_budget),
+        capacities=(1.0, 1.0, 1.0, 1.0),
+        max_containers=(6, 6, 6, 6),
+        failures="rolling:checkpoint",
+    )
+
+
+def az_outage(
+    seed: int = 42, *, n_jobs: int = 20, retry_budget: int = 8
+) -> ClusterScenario:
+    """Correlated-failure scenario: half the fleet vanishes at once.
+
+    Six bounded workers take a Poisson stream; at t=120 an
+    "availability zone" holding half of them goes dark for 120 s, then
+    every lost node rejoins together.  The surviving half inherits the
+    orphans *and* the still-arriving stream, so admission queueing,
+    re-placement and recovery re-arming all act in the same window —
+    the correlated-failure shape that per-node fault models miss.
+    """
+    gen = WorkloadGenerator(_rng(seed, "azoutage"))
+    specs = gen.poisson_mix(n_jobs, mean_gap=8.0)
+    return ClusterScenario(
+        specs=_with_retry_budget(specs, retry_budget),
+        capacities=(1.0,) * 6,
+        max_containers=(4,) * 6,
+        failures="az_outage:checkpoint",
+    )
+
+
+def slow_node(
+    seed: int = 42, *, n_jobs: int = 16, retry_budget: int = 8
+) -> ClusterScenario:
+    """Fail-slow scenario: one worker silently degrades, nothing crashes.
+
+    Four workers split a burst of jobs; at t=60 one of them drops to a
+    quarter of its capacity for four minutes (a thermal-throttled or
+    half-failed node), then recovers.  No containers are orphaned —
+    the victims just crawl — which is exactly the failure mode crash
+    detection never sees and progress-aware rebalancing does: pair
+    with ``rebalance="progress"`` to watch the stragglers migrate off
+    the sick node, or ``"none"`` to measure the undisturbed damage.
+    """
+    gen = WorkloadGenerator(_rng(seed, "slownode"))
+    specs = gen.random_mix(n_jobs, window=(0.0, 30.0))
+    return ClusterScenario(
+        specs=_with_retry_budget(specs, retry_budget),
+        capacities=(1.0, 1.0, 1.0, 1.0),
+        max_containers=(6, 6, 6, 6),
+        rebalance="progress",
+        failures="slow",
     )

@@ -72,16 +72,24 @@ class MetricsRecorder:
         self._labels: dict[str, int] = {}
         self._handle = None
         self._started = False
+        self._hooks_installed = False
 
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> None:
-        """Install hooks and begin sampling."""
+        """Install hooks and begin sampling (restartable after stop).
+
+        Hooks are installed exactly once across start/stop/start cycles:
+        a recorder restarted on a crash-recovered worker must not record
+        each completion twice.
+        """
         if self._started:
             return
         self._started = True
-        self.worker.exit_hooks.append(self._on_exit)
-        self.worker.launch_hooks.append(self._on_launch)
+        if not self._hooks_installed:
+            self._hooks_installed = True
+            self.worker.exit_hooks.append(self._on_exit)
+            self.worker.launch_hooks.append(self._on_launch)
         self._schedule_sample()
 
     def stop(self) -> None:

@@ -59,7 +59,13 @@ class RunSummary:
     owning tenant (empty outside multi-tenant runs) and drives the
     per-tenant queue-delay views; ``fleet_timeline`` is the autoscaler's
     ``(time, worker count)`` trajectory (one entry — the initial fleet —
-    for fixed-fleet runs).
+    for fixed-fleet runs).  ``retries`` and ``failed_jobs`` describe the
+    failure injector: per-label crash-restart counts (for jobs that
+    restarted at least once) and, for jobs whose retry budget ran out,
+    ``label → (retries used, CPU-seconds of progress lost)``.  A label
+    appears in the completions *or* in ``failed_jobs``, never both —
+    accounting stays exactly-once even though execution under crashes is
+    at-least-once.  Both are empty under ``failures="none"``.
     """
 
     completions: list[CompletionRecord]
@@ -69,6 +75,8 @@ class RunSummary:
     migration_delays: dict[str, float] = field(default_factory=dict)
     tenants: dict[str, str] = field(default_factory=dict)
     fleet_timeline: tuple = ()
+    retries: dict[str, int] = field(default_factory=dict)
+    failed_jobs: dict[str, tuple[int, float]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.completions:
@@ -148,6 +156,24 @@ class RunSummary:
         """Mean queue delay, overall or for one tenant."""
         delays = self.tenant_queue_delays(tenant)
         return float(np.mean(np.asarray(delays, dtype=np.float64)))
+
+    # -- failures --------------------------------------------------------------------
+
+    def failed_labels(self) -> list[str]:
+        """Labels that exhausted their retry budget, sorted."""
+        return sorted(self.failed_jobs)
+
+    def retry_count(self, label: str) -> int:
+        """Crash-restarts consumed by one job (0 if it never crashed)."""
+        return self.retries.get(label, 0)
+
+    def total_retries(self) -> int:
+        """Crash-restarts executed across the whole run."""
+        return sum(self.retries.values())
+
+    def failed_lost_work(self) -> float:
+        """CPU-seconds of progress lost by retry-exhausted jobs."""
+        return float(sum(lost for _, lost in self.failed_jobs.values()))
 
     # -- autoscaling -----------------------------------------------------------------
 

@@ -35,6 +35,10 @@ class EventKind(enum.Enum):
     CONTAINER_MIGRATION = "container_migration"
     #: An autoscale-provisioned worker joining the fleet after boot.
     WORKER_PROVISION = "worker_provision"
+    #: An injected worker fault firing (fail-stop crash or fail-slow).
+    WORKER_FAIL = "worker_fail"
+    #: A failed worker rejoining the fleet at full health.
+    WORKER_RECOVER = "worker_recover"
     #: A periodic scheduling-policy tick (Algorithm 1 cadence).
     SCHEDULER_TICK = "scheduler_tick"
     #: A listener poll (Algorithm 2 cadence).

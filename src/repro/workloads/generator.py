@@ -40,6 +40,9 @@ class WorkloadSpec:
         the run's :class:`~repro.cluster.submission.JobSubmission` —
         consumed by the ``"wfq"`` (tenant + weight) and ``"priority"``
         admission policies; inert under ``"fifo"``/``"sjf"``.
+    retry_budget:
+        Crash-restart budget carried onto the submission; consumed only
+        when a failure injector is armed.
     """
 
     model_key: str
@@ -49,6 +52,7 @@ class WorkloadSpec:
     tenant: str | None = None
     weight: float = 1.0
     priority: int = 0
+    retry_budget: int = 3
 
     def build_job(self, rng: np.random.Generator | None = None,
                   size_jitter: float = 0.0) -> TrainingJob:

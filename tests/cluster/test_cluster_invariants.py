@@ -8,7 +8,9 @@ policy matrix (and autoscaling on/off) and asserts the conservation
 invariants that must hold for any of them:
 
 * every submitted job completes **exactly once**, wherever migrations
-  (or autoscaled placements) took it;
+  (or autoscaled placements, or crash-restarts) took it — under fault
+  injection, every job that did not exhaust its retry budget;
+* a job is recorded completed *or* retry-exhausted, never both;
 * no worker ever exceeds its admission slots (in-flight migration
   reservations included), checked after *every* simulation event;
 * the admission queue fully drains — under ``wfq`` this doubles as the
@@ -27,6 +29,7 @@ import pytest
 from repro.cluster.admission import ADMISSIONS
 from repro.cluster.autoscale import AUTOSCALERS, QueueDepthAutoscale
 from repro.cluster.contention import ContentionModel
+from repro.cluster.failures import FAILURES, RandomFailures
 from repro.cluster.manager import Manager
 from repro.cluster.placement import PLACEMENTS
 from repro.cluster.rebalance import (
@@ -69,7 +72,12 @@ def _random_shape(seed: int):
 
 
 def _run_checked(
-    seed: int, placement: str, rebalance, admission="fifo", autoscale=None
+    seed: int,
+    placement: str,
+    rebalance,
+    admission="fifo",
+    autoscale=None,
+    failures=None,
 ) -> dict[str, str]:
     """Run one fuzz case, asserting invariants; return label → repr(t_f)."""
     capacities, slots, jobs = _random_shape(seed)
@@ -101,6 +109,7 @@ def _run_checked(
         rebalance=rebalance,
         admission=admission,
         autoscale=autoscale,
+        failures=failures,
         worker_factory=factory,
     )
     finished: list[tuple[str, float]] = []
@@ -136,11 +145,16 @@ def _run_checked(
                 occupied <= worker.max_containers
             ), f"{worker.name} over capacity after {event!r}"
 
-    # Exactly-once completion, wherever migrations/autoscaling took
-    # each job — under wfq this is the no-starvation witness: every
-    # tenant holds positive weight and all of its jobs finished.
+    # Exactly-once completion, wherever migrations/autoscaling/crash-
+    # restarts took each job — under wfq this is the no-starvation
+    # witness: every tenant holds positive weight and all of its jobs
+    # finished.  Under fault injection, jobs that exhausted their retry
+    # budget land in manager.failed instead — never in both.
     labels = sorted(name for name, _ in finished)
-    assert labels == sorted(label for label, *_ in jobs)
+    assert labels == sorted(
+        label for label, *_ in jobs if label not in manager.failed
+    )
+    assert not set(manager.failed) & set(labels)
     # The admission queue fully drained and nothing is still in flight.
     assert manager.queue_len == 0
     assert manager.pending == 0
@@ -149,17 +163,24 @@ def _run_checked(
     assert all(w.reserved == 0 for w in manager.workers)
     assert all(not w.running_containers() for w in manager.workers)
     # Every placed job's record points at a worker that existed (it may
-    # since have been retired by the autoscaler).
-    names = {w.name for w in manager.workers} | {
-        f"worker-{i}" for i in range(manager._next_worker_idx)
-    }
+    # since have been retired by the autoscaler or crashed).
+    names = (
+        {w.name for w in manager.workers}
+        | {f"worker-{i}" for i in range(manager._next_worker_idx)}
+        | manager.crashed_workers
+    )
     for label, *_ in jobs:
         assert manager.placement_of(label).worker_name in names
     # The fleet timeline is monotone in time and ends at the live count.
     times = [t for t, _ in manager.fleet_timeline]
     assert times == sorted(times)
     assert manager.fleet_timeline[-1][1] == len(manager.workers)
-    return {name: repr(t) for name, t in finished}
+    result = {name: repr(t) for name, t in finished}
+    for label, (used, lost) in manager.failed.items():
+        result[f"failed:{label}"] = repr((used, lost))
+    for label, used in manager.retries.items():
+        result[f"retries:{label}"] = repr(used)
+    return result
 
 
 @pytest.mark.parametrize("placement", sorted(PLACEMENTS))
@@ -241,6 +262,57 @@ def test_invariants_with_in_flight_migrations(seed, factory):
     assert first == second
 
 
+@pytest.mark.parametrize(
+    "failures", ["random", "random:checkpoint", "random:checkpoint(20)"]
+)
+@pytest.mark.parametrize("admission", ["fifo", "wfq"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_chaos_invariants(failures, admission, seed):
+    """Random crash/recover plans preserve every invariant.
+
+    The injector draws seeded fail-stop crashes (some permanent, some
+    recovering) against the fuzzed cluster; every job that does not
+    exhaust its retry budget still completes exactly once, nothing
+    leaks, and repeats are bit-identical — under both lost and
+    checkpointed durability.
+    """
+    first = _run_checked(seed, "spread", "none",
+                         admission=admission, failures=failures)
+    second = _run_checked(seed, "spread", "none",
+                          admission=admission, failures=failures)
+    assert first == second
+
+
+@pytest.mark.parametrize("rebalance", ["migrate", "progress"])
+@pytest.mark.parametrize("seed", [2, 3])
+def test_chaos_composes_with_migration(rebalance, seed):
+    """Crashes landing amid live migrations still conserve every job."""
+    first = _run_checked(
+        seed, "spread", rebalance, failures="random:checkpoint"
+    )
+    second = _run_checked(
+        seed, "spread", rebalance, failures="random:checkpoint"
+    )
+    assert first == second
+
+
+@pytest.mark.parametrize("seed", [5, 7])
+def test_chaos_composes_with_autoscale(seed):
+    """Crash/recover churn on top of provision/retire churn holds up."""
+    def run():
+        return _run_checked(
+            seed,
+            "spread",
+            "none",
+            autoscale=QueueDepthAutoscale(
+                up_threshold=2, provision_delay=5.0, cooldown=0.0
+            ),
+            failures=RandomFailures(durability="checkpoint(20)"),
+        )
+
+    assert run() == run()
+
+
 def test_wfq_light_tenant_not_starved_by_flood():
     """A continuously backlogged heavy tenant cannot starve a light one.
 
@@ -287,3 +359,6 @@ def test_registries_are_fully_covered():
     assert sorted(REBALANCERS) == ["migrate", "none", "progress"]
     assert sorted(ADMISSIONS) == ["fifo", "priority", "sjf", "wfq"]
     assert sorted(AUTOSCALERS) == ["none", "progress", "queue_depth"]
+    assert sorted(FAILURES) == [
+        "az_outage", "none", "random", "rolling", "slow",
+    ]

@@ -242,16 +242,63 @@ class TestPruning:
         assert stats is not None
         assert stats.mean_usage.cpu > 0.0
 
-    def test_manager_disables_pruning_for_rebalance_runs(self):
+    def test_manager_keeps_pruning_enabled_for_rebalance_runs(self):
+        """Migration-armed fleets prune too (windows seed at attach)."""
         sim = Simulator(seed=0, trace=False)
         workers = [Worker(sim, name=f"w{i}", max_containers=4) for i in range(2)]
         Manager(sim, workers, rebalance="migrate")
-        assert all(not w.obsbus.prune for w in workers)
+        assert all(w.obsbus.prune for w in workers)
 
         sim2 = Simulator(seed=0, trace=False)
         workers2 = [Worker(sim2, name=f"w{i}", max_containers=4) for i in range(2)]
         Manager(sim2, workers2, rebalance="none")
         assert all(w.obsbus.prune for w in workers2)
+
+    def test_attach_seeds_windows_at_migration_instant(self):
+        """A migrated container's new observers never reach below attach.
+
+        The target worker's recorder-like subscriber had never seen the
+        container; its first window must start at the attach instant —
+        not at the container's creation on the old node — so the target
+        bus can keep pruning.
+        """
+        sim = Simulator(seed=3, trace=False)
+        src = Worker(sim, name="src")
+        dst = Worker(sim, name="dst")
+        dst_sampler = dst.obsbus.sampler()
+        c = src.launch(make_linear_job(total_work=10_000.0))
+        sim.clock.advance_to(40.0)
+        dst.attach(src.detach(c.cid))
+        assert dst_sampler.window_start(c.cid, c.created_at) == 40.0
+        sim.clock.advance_to(42.0)
+        dst.poke()
+        [obs] = dst.obsbus.observe()
+        stats = dst_sampler.sample(obs)
+        assert stats is not None and stats.mean_usage.cpu > 0.0
+
+    def test_migrating_run_keeps_history_bounded(self):
+        """Bounded-memory regression with rebalancing armed.
+
+        Pruning used to be disabled fleet-wide whenever a rebalance
+        policy might migrate containers, so long runs grew cgroup
+        history without bound; attach-instant window seeding lets the
+        bus prune through migrations.
+        """
+        result = run_cluster(
+            two_hundred_job(seed=0),
+            NAPolicy,
+            SimulationConfig(seed=0, trace=False),
+            n_workers=8,
+            max_containers=4,
+            rebalance="migrate",
+        )
+        counts = [
+            c.cgroup.checkpoint_count
+            for w in result.workers
+            for c in w.runtime.all_containers()
+        ]
+        assert len(counts) == 200
+        assert max(counts) <= 64  # bounded, vs hundreds unpruned
 
     def test_two_hundred_job_checkpoints_stay_bounded(self):
         """The Poisson stream must not grow cgroup history with run length."""

@@ -51,6 +51,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--autoscale", "manual"])
 
+    def test_failures_spec_parses(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.failures == "none"
+        args = build_parser().parse_args(
+            ["compare", "--failures", "rolling:checkpoint(60)"]
+        )
+        assert args.failures == "rolling:checkpoint(60)"
+        args = build_parser().parse_args(
+            ["sweep", "--failures", "az_outage"]
+        )
+        assert args.failures == "az_outage"
+
     def test_tenant_weights_parse(self):
         args = build_parser().parse_args(
             ["compare", "--tenant-weights", "interactive=4", "batch=1"]
@@ -132,6 +144,26 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "itval=20" in out
+
+    def test_unknown_failures_spec_is_a_clean_cli_error(self, capsys):
+        # --failures is a free-form spec (durability suffixes make
+        # choices= impossible), so validation happens in the run path
+        # and must surface as a clean exit-2 error, not a traceback.
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1",
+            "--failures", "meteor-strike",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "meteor-strike" in err and "'rolling'" in err
+
+    def test_compare_with_failures(self, capsys):
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1", "--workers", "2",
+            "--failures", "rolling:checkpoint",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failures:" in out and "crash-restarts" in out
 
     def test_compare_with_wfq_tenants(self, capsys):
         assert main([
