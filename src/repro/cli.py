@@ -17,6 +17,8 @@ programmatically from those modules.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 from functools import partial
 
@@ -380,6 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="assign jobs round-robin to weighted tenants "
                             "(e.g. interactive=4 batch=1); pair with "
                             "--admission wfq for weighted fair queueing")
+    p_cmp.add_argument("--profile", action="store_true",
+                       help="run under cProfile and dump the top 25 "
+                            "cumulative-time functions to stderr")
 
     p_sweep = sub.add_parser("sweep", help="alpha x itval grid")
     p_sweep.add_argument("--alphas", type=float, nargs="+",
@@ -406,6 +411,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--failures", default="none", metavar="SPEC",
                          help="failure-injector spec (e.g. none, random, "
                               "rolling:checkpoint(60))")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="run under cProfile and dump the top 25 "
+                              "cumulative-time functions to stderr")
 
     sub.add_parser(
         "validate",
@@ -443,6 +451,23 @@ _COMMANDS = {
 }
 
 
+def _run_profiled(handler, args) -> int:
+    """Run a command under cProfile, top 25 by cumulative time to stderr.
+
+    The report goes to stderr so the command's own stdout (tables,
+    sparklines) stays clean for pipelines; profiling overhead is real,
+    so the flag is for hot-path observability, not for timing claims.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return handler(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -450,7 +475,10 @@ def main(argv: list[str] | None = None) -> int:
         # Figure-specific default seeds match the benches.
         args.seed = 1 if args.number in (3, 4, 5, 6, 7, 8) else 42
     try:
-        return _COMMANDS[args.command](args)
+        handler = _COMMANDS[args.command]
+        if getattr(args, "profile", False):
+            return _run_profiled(handler, args)
+        return handler(args)
     except (ExperimentError, ConfigError, UnknownPolicyError) as exc:
         # UnknownPolicyError covers free-form specs like --failures,
         # which argparse choices= cannot validate upfront.

@@ -14,12 +14,18 @@ which one is released next.  Capacity filtering stays in the manager:
 policies never see the workers and cannot over-subscribe a node — they
 only order the backlog.
 
-Four policies ship:
+Five policies ship:
 
 * :class:`FifoAdmission` (``"fifo"``, the default) — strict arrival
   order.  Structurally the historical deque (``append``/``popleft``),
   so runs are bit-identical to the pre-extraction manager (pinned by
   both golden fixtures).
+* :class:`BackfillAdmission` (``"backfill"``) — FIFO with conservative
+  backfill: when the head job's memory footprint would overcommit every
+  eligible worker, later jobs that *do* fit cleanly may jump it (the
+  manager supplies the fit probe, built from the same eligible-worker
+  set placement chooses from).  An aging bound caps how many times the
+  head can be jumped, so large jobs are delayed but never starved.
 * :class:`PriorityAdmission` (``"priority"``) — strict priority classes
   (:attr:`~repro.cluster.submission.JobSubmission.priority`, higher
   first) with FIFO tie-break inside a class.
@@ -42,10 +48,10 @@ All policies are deterministic: ties break on a monotonic enqueue
 sequence number, so replaying a run with the same seed reproduces every
 drain decision bit-for-bit.  Policies hold per-run state, so build a
 fresh instance per run — :func:`make_admission` resolves a registry name
-(``"fifo"``, ``"priority"``, ``"wfq"``, ``"sjf"``), which is also what
-keeps batch tasks picklable: tasks carry the *name*, each worker process
-materializes the policy (tenant weights ride the submissions
-themselves).
+(``"fifo"``, ``"backfill"``, ``"priority"``, ``"wfq"``, ``"sjf"``),
+which is also what keeps batch tasks picklable: tasks carry the *name*,
+each worker process materializes the policy (tenant weights ride the
+submissions themselves).
 """
 
 from __future__ import annotations
@@ -64,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (manager ← worker)
 __all__ = [
     "AdmissionPolicy",
     "FifoAdmission",
+    "BackfillAdmission",
     "PriorityAdmission",
     "WfqAdmission",
     "SjfAdmission",
@@ -97,6 +104,21 @@ class AdmissionPolicy(abc.ABC):
     @abc.abstractmethod
     def pop(self) -> "JobSubmission":
         """Release the next submission to place (queue must be non-empty)."""
+
+    def pop_fitting(self, fits) -> "JobSubmission | None":
+        """Release the next submission, consulting a fit probe.
+
+        The manager's drain pass calls this with ``fits(submission) ->
+        bool``, true when some eligible worker can host the submission
+        without memory overcommit.  The default ignores the probe and
+        releases :meth:`pop`'s choice unconditionally — the historical
+        behaviour, where release order is the policy's alone and
+        overcommit is the contention model's problem.  Fit-aware
+        policies (:class:`BackfillAdmission`) override this; returning
+        ``None`` tells the manager nothing releasable fits and the
+        drain pass must stop.
+        """
+        return self.pop()
 
     @abc.abstractmethod
     def queued(self) -> list["JobSubmission"]:
@@ -145,6 +167,82 @@ class FifoAdmission(AdmissionPolicy):
 
     def __len__(self) -> int:
         return len(self._queue)
+
+
+class BackfillAdmission(AdmissionPolicy):
+    """FIFO with conservative memory backfill and an anti-starvation bound.
+
+    Drains in arrival order like :class:`FifoAdmission` — until the head
+    job fails the manager's fit probe (its memory footprint would
+    overcommit every eligible worker).  Then the earliest *later* job
+    that does fit cleanly is released instead, so small jobs flow around
+    a large head instead of idling free memory behind it.
+
+    Parameters
+    ----------
+    max_skips:
+        How many times the queue head may be jumped before backfill
+        suspends (default 16).  Once exhausted, nothing is released
+        until the head itself fits: the head waits for at most
+        ``max_skips`` backfills plus one clean slot, so no job is
+        starved no matter how many small jobs keep arriving.
+
+    The skip budget belongs to the *current head*: it resets whenever
+    the head is released (fit or aged-out), never when new work arrives.
+    ``backfills`` counts total out-of-order releases (observability).
+    """
+
+    name = "backfill"
+
+    def __init__(self, *, max_skips: int = 16) -> None:
+        if max_skips < 0:
+            raise ConfigError(
+                f"max_skips must be >= 0, got {max_skips!r}"
+            )
+        self._queue: deque["JobSubmission"] = deque()
+        self.max_skips = max_skips
+        self._head_skips = 0
+        #: Out-of-order releases performed so far.
+        self.backfills = 0
+
+    def push(self, submission: "JobSubmission") -> None:
+        self._queue.append(submission)
+
+    def pop(self) -> "JobSubmission":
+        if not self._queue:
+            raise ClusterError("admission queue is empty")
+        self._head_skips = 0
+        return self._queue.popleft()
+
+    def pop_fitting(self, fits) -> "JobSubmission | None":
+        queue = self._queue
+        if not queue:
+            return None
+        if fits(queue[0]):
+            self._head_skips = 0
+            return queue.popleft()
+        if self._head_skips >= self.max_skips:
+            # The head has been jumped max_skips times: backfill
+            # suspends until the head itself fits, so capacity frees in
+            # its direction instead of being re-captured by newcomers.
+            return None
+        for i in range(1, len(queue)):
+            if fits(queue[i]):
+                self._head_skips += 1
+                self.backfills += 1
+                submission = queue[i]
+                del queue[i]
+                return submission
+        return None
+
+    def queued(self) -> list["JobSubmission"]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def describe(self) -> str:
+        return f"backfill (max_skips={self.max_skips})"
 
 
 class _HeapAdmission(AdmissionPolicy):
@@ -276,6 +374,7 @@ class WfqAdmission(_HeapAdmission):
 #: Registry of admission policies by name, for CLI flags and batch tasks.
 ADMISSIONS: dict[str, type[AdmissionPolicy]] = {
     "fifo": FifoAdmission,
+    "backfill": BackfillAdmission,
     "priority": PriorityAdmission,
     "wfq": WfqAdmission,
     "sjf": SjfAdmission,

@@ -161,9 +161,9 @@ class Manager:
         ``None`` means no rebalancing, the historical default.
     admission:
         An :class:`~repro.cluster.admission.AdmissionPolicy` instance or
-        registry name (``"fifo"``, ``"priority"``, ``"wfq"``, ``"sjf"``);
-        ``None`` means FIFO, the historical default (bit-identical to
-        the pre-extraction hardcoded deque).
+        registry name (``"fifo"``, ``"backfill"``, ``"priority"``,
+        ``"wfq"``, ``"sjf"``); ``None`` means FIFO, the historical
+        default (bit-identical to the pre-extraction hardcoded deque).
     autoscale:
         An :class:`~repro.cluster.autoscale.AutoscalePolicy` instance or
         registry name (``"none"``, ``"queue_depth"``, ``"progress"``);
@@ -384,6 +384,24 @@ class Manager:
             return
         self._place(submission, eligible)
 
+    def _fitting_workers(
+        self, submission: JobSubmission, eligible: list[Worker]
+    ) -> list[Worker]:
+        """Eligible workers that can host *submission* without memory
+        overcommit.
+
+        An empty worker always fits: a job whose footprint alone
+        exceeds node RAM runs (thrashing-penalized) on a dedicated node
+        exactly as it always has, so a fit-aware admission policy can
+        never deadlock behind it.
+        """
+        mem = submission.job.footprint.memory
+        return [
+            w
+            for w in eligible
+            if w.is_empty() or w.memory_used() + mem <= 1.0 + 1e-12
+        ]
+
     def _drain_queue(self) -> bool:
         """Place queued jobs while headroom lasts; True if fully drained.
 
@@ -391,12 +409,31 @@ class Manager:
         rebalancer only ever moves containers into slots the drain left
         free (a non-empty queue implies zero headroom anywhere, so no
         migration target exists).
+
+        Each release goes through the admission policy's
+        :meth:`~repro.cluster.admission.AdmissionPolicy.pop_fitting`
+        with a fit probe over the current eligible workers.  The default
+        policies ignore the probe (bit-identical to the historical
+        unconditional ``pop``, and placement still sees every eligible
+        worker); fit-aware policies (``"backfill"``) use it to release
+        out of order, and their releases are placed on the workers the
+        probe accepted.
         """
         while len(self.admission):
             eligible = self._eligible_workers()
             if not eligible:
                 return False
-            self._place(self.admission.pop(), eligible)
+            fit_cache: dict[int, list[Worker]] = {}
+
+            def fits(sub: JobSubmission) -> bool:
+                workers = self._fitting_workers(sub, eligible)
+                fit_cache[id(sub)] = workers
+                return bool(workers)
+
+            submission = self.admission.pop_fitting(fits)
+            if submission is None:
+                return False
+            self._place(submission, fit_cache.get(id(submission), eligible))
         return True
 
     def _on_worker_exit(self, container) -> None:

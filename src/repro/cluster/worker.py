@@ -26,6 +26,15 @@ bit-identical to the historical per-container loop.  Exit rescheduling is
 *incremental*: projections are keyed by cid and the scheduled event is
 reused whenever the recomputed finish time is unchanged, instead of
 tearing down every exit event on each reallocation.
+
+Fleet mode (``SimulationConfig.fleet_mode``) runs settlement and the
+allocator input/output halves of reallocation across *many* workers in one
+packed pass (:mod:`repro.cluster.fleet`).  To keep that pass bit-identical,
+reallocation is split into :meth:`Worker._realloc_begin` (version bump,
+active set, jitter draws → allocator inputs) and
+:meth:`Worker._realloc_finish` (apply shares, reschedule exits); the serial
+:meth:`Worker._reallocate` is exactly ``begin → allocate → finish``, so both
+modes execute the same code objects on the same per-worker state.
 """
 
 from __future__ import annotations
@@ -139,6 +148,7 @@ class Worker:
         #: exactly like the historical per-container reads.
         self._fp_cache: tuple | None = None
         self._limits_cache: tuple | None = None
+        self._demand_clamp_cache: tuple | None = None
         #: Hooks invoked after a container exits: f(container).
         self.exit_hooks: list = []
         #: Hooks invoked after a container launches: f(container).
@@ -453,13 +463,37 @@ class Worker:
 
     def _reallocate(self) -> None:
         """Recompute CPU shares for the current pool and reschedule exits."""
+        inputs = self._realloc_begin()
+        if inputs is None:
+            return
+        limits, demands, weights, mem = inputs
+        self._realloc_finish(
+            self.allocator.allocate(self.capacity, limits, demands, weights),
+            mem,
+        )
+
+    def _realloc_begin(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, float | None] | None:
+        """First half of a reallocation: version bump + allocator inputs.
+
+        Bumps the state-version, refreshes the active set, and draws this
+        worker's jitter, returning ``(limits, demands, weights, mem)``
+        ready for :meth:`CpuAllocator.allocate`.  Returns ``None`` for an
+        empty pool, in which case the reallocation is already complete
+        (allocations zeroed, projected exits cancelled).  Split from
+        :meth:`_realloc_finish` so the fleet ticker can gather many
+        workers' inputs and run one segmented allocation over all of
+        them; ``_realloc_begin`` → ``allocate`` → ``_realloc_finish`` is
+        exactly the historical ``_reallocate`` body.
+        """
         self.version += 1
         running = self.runtime.running()
         self._active = running
         if not running:
             self._allocs = np.zeros(0, dtype=np.float64)
             self._cancel_all_exits()
-            return
+            return None
         rv = self.runtime.version
         cached = self._limits_cache
         if cached is not None and cached[0] == rv:
@@ -491,16 +525,29 @@ class Worker:
         else:
             # Zero amplitude draws nothing (ideal-contention replay
             # contract); multiplying by all-ones noise is the identity.
-            demands = np.minimum(np.maximum(demands, 1e-3), 1.0)
+            # The clamp is then a pure function of the footprint demand
+            # array, so it rides an identity-keyed cache: a workload
+            # swapping its footprint rebuilds the array (new object) and
+            # misses; everything else reuses the identical clamped bits.
+            clamped = self._demand_clamp_cache
+            if clamped is not None and clamped[0] is demands:
+                demands = clamped[1]
+            else:
+                source = demands
+                demands = np.minimum(np.maximum(demands, 1e-3), 1.0)
+                demands.flags.writeable = False
+                self._demand_clamp_cache = (source, demands)
         if amp_weight is not None:
             weights = self.contention.weight_noise(rng, limits, amp_weight)
         else:
             weights = None
-        self._allocs = self.allocator.allocate(
-            self.capacity, limits, demands, weights
-        )
-        for container, alloc in zip(running, self._allocs.tolist()):
-            container.current_alloc = alloc
+        return limits, demands, weights, mem
+
+    def _realloc_finish(self, alloc: np.ndarray, mem: float | None) -> None:
+        """Second half of a reallocation: apply *alloc* + reschedule exits."""
+        self._allocs = alloc
+        for container, share in zip(self._active, alloc.tolist()):
+            container.current_alloc = share
         self._reschedule_exits(mem)
 
     def _cancel_all_exits(self) -> None:

@@ -155,7 +155,7 @@ class SimulationConfig:
         pre-rebalancing manager.
     admission:
         Default admission-policy registry name (``"fifo"``,
-        ``"priority"``, ``"wfq"``, ``"sjf"``; see
+        ``"backfill"``, ``"priority"``, ``"wfq"``, ``"sjf"``; see
         :mod:`repro.cluster.admission`).  ``"fifo"`` (historical
         behaviour) drains in strict arrival order and is bit-identical
         to the pre-extraction hardcoded queue.
@@ -172,6 +172,13 @@ class SimulationConfig:
         :mod:`repro.cluster.failures`).  ``"none"`` (historical
         behaviour) injects nothing and is bit-identical to the
         failure-free manager.
+    fleet_mode:
+        When ``True`` the runner arms the fused fleet-tick engine
+        (:mod:`repro.cluster.fleet`): same-instant sampling ticks across
+        workers coalesce into one packed settle + segmented reallocate +
+        packed sampling pass.  Bit-identical to the serial per-worker
+        path (pinned by the golden fixtures and the invariant harness);
+        ``False`` (default) keeps the serial path as the oracle.
     """
 
     seed: int = 0
@@ -187,6 +194,7 @@ class SimulationConfig:
     admission: str = "fifo"
     autoscale: str = "none"
     failures: str = "none"
+    fleet_mode: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:

@@ -199,6 +199,24 @@ def _water_fill_scalar(
     if capacity == 0.0:
         return [0.0] * n
 
+    if n == 1:
+        # Single entity: the general path below collapses to a handful of
+        # scalar operations (prefix sums are zero, ``np.sum`` over one
+        # element is that element), replicated here in the same IEEE
+        # order — bit-identical, pinned by the same property test.
+        c = ceilings[0]
+        w = weights[0]
+        candidate = capacity / w
+        if candidate >= c / w - 1e-15:
+            a = c
+        else:
+            lam = max(0.0, candidate)
+            a = min(lam * w, c)
+        a = min(a if a > 0.0 else 0.0, c)
+        if a - capacity > 1e-9:
+            a = a * (capacity / a)
+        return [a]
+
     levels = [c / w for c, w in zip(ceilings, weights)]
     order = sorted(range(n), key=levels.__getitem__)  # stable, like argsort
     c_sorted = [ceilings[i] for i in order]
@@ -238,7 +256,9 @@ def _water_fill_scalar(
     # Numeric hygiene: clamp and never exceed capacity (sum via numpy on
     # the assembled array keeps pairwise-summation order identical).
     alloc = [min(a if a > 0.0 else 0.0, c) for a, c in zip(alloc, ceilings)]
-    total = float(np.sum(np.array(alloc, dtype=np.float64)))
+    # ``np.sum`` delegates to ``ndarray.sum`` — calling the method directly
+    # skips the dispatch wrapper without changing the reduction.
+    total = float(np.array(alloc, dtype=np.float64).sum())
     excess = total - capacity
     if excess > 1e-9:
         factor = capacity / total
@@ -338,17 +358,48 @@ class CpuAllocator:
 
         demand_abs = [min(d, 1.0) * capacity for d in dem]
         ceil = [min(li * capacity, da) for li, da in zip(lim, demand_abs)]
+        return self._finish_scalar(capacity, demand_abs, ceil, weights)
+
+    def _finish_scalar(
+        self,
+        capacity: float,
+        demand_abs: list[float],
+        ceil: list[float],
+        weights: np.ndarray | None,
+    ) -> np.ndarray:
+        """Water-fill + soft phase 2 given precomputed scalar ceilings.
+
+        Tail of :meth:`_allocate_scalar`, factored out so the segmented
+        fleet path can compute ``demand_abs``/``ceil`` for many workers in
+        one packed numpy pass and still finish each segment through the
+        exact scalar pipeline (bit-identical to the per-worker call).
+        """
         wts = weights.tolist() if weights is not None else None
         alloc = _water_fill_scalar(capacity, ceil, wts)
 
+        if len(demand_abs) == 1:
+            # Single container: both whole-array sums are the lone element
+            # itself (``np.sum`` over one element), so the phase-2 guard
+            # and the final demand clamp run as plain scalar ops — same
+            # values, same branches as the general path below.
+            a = alloc[0]
+            da = demand_abs[0]
+            if self.mode is AllocationMode.SOFT:
+                spare = capacity - a
+                if spare > 1e-12:
+                    residual = r if (r := da - a) > 0.0 else 0.0
+                    if residual > 1e-12:
+                        a = a + _water_fill_scalar(spare, [residual], None)[0]
+            return np.array([min(a, da)], dtype=np.float64)
+
         if self.mode is AllocationMode.SOFT:
-            spare = capacity - float(np.sum(np.array(alloc, dtype=np.float64)))
+            spare = capacity - float(np.array(alloc, dtype=np.float64).sum())
             if spare > 1e-12:
                 residual = [
                     r if (r := da - a) > 0.0 else 0.0
                     for da, a in zip(demand_abs, alloc)
                 ]
-                if float(np.sum(np.array(residual, dtype=np.float64))) > 1e-12:
+                if float(np.array(residual, dtype=np.float64).sum()) > 1e-12:
                     extra = _water_fill_scalar(spare, residual, None)
                     alloc = [a + e for a, e in zip(alloc, extra)]
 
@@ -356,3 +407,133 @@ class CpuAllocator:
             [min(a, da) for a, da in zip(alloc, demand_abs)],
             dtype=np.float64,
         )
+
+    def _finish_n1(
+        self,
+        caps: np.ndarray,
+        dem_abs: np.ndarray,
+        ceil: np.ndarray,
+        wts: np.ndarray,
+    ) -> np.ndarray:
+        """Single-container segments, all finished in one broadcast.
+
+        Element *j* reproduces :meth:`_finish_scalar` on the one-element
+        segment ``(caps[j], [dem_abs[j]], [ceil[j]], [wts[j]])`` exactly:
+        with ``n == 1`` every reduction is the lone element, so the
+        scalar pipeline is a fixed chain of element-wise IEEE ops and
+        comparisons that broadcasts across segments bit-identically.
+        Callers guarantee ``caps >= 0``, ``ceil >= 0`` and ``wts > 0``.
+
+        Two scalar-path checks are provably dead for ``n == 1`` and are
+        not mirrored: the phase-1 over-capacity rescale (both branches
+        bound the allocation by ``capacity + w·1e-15``) and the inner
+        phase-2 rescale (the refill is bounded by ``spare + 1e-15``).
+        A zero capacity yields a zero ceiling, so the scalar path's
+        ``capacity == 0`` early-out also lands on the same value.
+        """
+        candidate = caps / wts
+        # Phase 1: water-fill — level check, weighted share, clamp.
+        alloc = np.where(
+            candidate >= ceil / wts - 1e-15,
+            ceil,
+            np.minimum(candidate * wts, ceil),
+        )
+        alloc = np.minimum(np.where(alloc > 0.0, alloc, 0.0), ceil)
+        if self.mode is AllocationMode.SOFT:
+            # Phase 2: redistribute spare toward unmet demand (the inner
+            # water-fill runs unweighted, exactly like the scalar path).
+            spare = caps - alloc
+            residual = dem_abs - alloc
+            residual = np.where(residual > 0.0, residual, 0.0)
+            refill = (spare > 1e-12) & (residual > 1e-12)
+            if refill.any():
+                extra = np.where(
+                    spare >= residual - 1e-15,
+                    residual,
+                    np.minimum(spare, residual),
+                )
+                extra = np.minimum(np.where(extra > 0.0, extra, 0.0), residual)
+                alloc = np.where(refill, alloc + extra, alloc)
+        return np.minimum(alloc, dem_abs)
+
+    def allocate_segmented(
+        self,
+        capacities: list[float],
+        limits_seq: list[np.ndarray],
+        demands_seq: list[np.ndarray],
+        weights_seq: list[np.ndarray | None],
+    ) -> list[np.ndarray]:
+        """Allocate many independent worker pools in one packed pass.
+
+        Each index describes one worker (segment): its capacity, limit and
+        demand vectors, and optional weights.  The per-segment results are
+        **bit-identical** to calling :meth:`allocate` per worker: the only
+        fused stage is the element-wise ceiling computation
+        (``min(d, 1) · C`` and ``min(L · C, d_abs)``), which is identical
+        IEEE arithmetic whether performed packed or per segment; the
+        water-fill and soft-limit redistribution — whose reductions feed
+        back into the arithmetic — still run per segment through
+        :meth:`_finish_scalar`.  Segments larger than the scalar fast-path
+        bound (or empty) delegate to :meth:`allocate` unchanged.  Invalid
+        inputs re-run per segment so the failing worker raises exactly the
+        error the serial path would.
+        """
+        n_segs = len(limits_seq)
+        lens = [limits.shape[0] for limits in limits_seq]
+        results: list[np.ndarray] = [None] * n_segs  # type: ignore[list-item]
+        small: list[int] = []
+        for i, ln in enumerate(lens):
+            if 0 < ln <= _SCALAR_MAX:
+                small.append(i)
+            else:
+                results[i] = self.allocate(
+                    capacities[i], limits_seq[i], demands_seq[i], weights_seq[i]
+                )
+        if not small:
+            return results
+        lims_p = np.concatenate([limits_seq[i] for i in small])
+        dems_p = np.concatenate([demands_seq[i] for i in small])
+        if lims_p.min() <= 0 or lims_p.max() > 1.0 + 1e-12 or dems_p.min() < 0:
+            for i in small:
+                results[i] = self.allocate(
+                    capacities[i], limits_seq[i], demands_seq[i], weights_seq[i]
+                )
+            return results
+        caps_s = np.array([capacities[i] for i in small], dtype=np.float64)
+        caps_p = np.repeat(caps_s, [lens[i] for i in small])
+        dem_abs_p = np.minimum(dems_p, 1.0) * caps_p
+        ceil_p = np.minimum(lims_p * caps_p, dem_abs_p)
+        if dems_p.shape[0] == len(small) and caps_s.min() >= 0.0:
+            # Every small segment holds exactly one container — the
+            # dominant fleet shape (one training job per node).  The
+            # whole scalar pipeline is branch-free per segment, so it
+            # broadcasts across segments; invalid weights fall through
+            # to the per-segment loop, which raises for the offender.
+            wts_s = np.ones(len(small), dtype=np.float64)
+            valid = True
+            for j, i in enumerate(small):
+                wt = weights_seq[i]
+                if wt is None:
+                    continue
+                if wt.shape[0] != 1 or wt[0] <= 0:
+                    valid = False  # shape/positivity errors raise serially
+                    break
+                wts_s[j] = wt[0]
+            if valid:
+                alloc_s = self._finish_n1(caps_s, dem_abs_p, ceil_p, wts_s)
+                for j, i in enumerate(small):
+                    results[i] = alloc_s[j : j + 1]
+                return results
+        dem_abs_list = dem_abs_p.tolist()
+        ceil_list = ceil_p.tolist()
+        off = 0
+        for i in small:
+            end = off + lens[i]
+            results[i] = self._finish_scalar(
+                capacities[i],
+                dem_abs_list[off:end],
+                ceil_list[off:end],
+                weights_seq[i],
+            )
+            off = end
+        return results

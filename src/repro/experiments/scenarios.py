@@ -29,6 +29,7 @@ __all__ = [
     "random_fifteen_job",
     "fifty_job",
     "two_hundred_job",
+    "two_thousand_job",
     "ClusterScenario",
     "heterogeneous_cluster",
     "imbalanced_cluster",
@@ -107,6 +108,31 @@ def two_hundred_job(
     """
     gen = WorkloadGenerator(_rng(seed, "poisson200"))
     return gen.poisson_mix(n_jobs, mean_gap=mean_gap)
+
+
+def two_thousand_job(
+    seed: int = 42, *, n_jobs: int = 2000, mean_gap: float = 0.375
+) -> ClusterScenario:
+    """Fleet-scale open-arrival stream: 2000 jobs against 64 workers.
+
+    The fused fleet-tick workload: the same per-worker arrival pressure
+    as :func:`two_hundred_job` (mean gap 3 s over 8 workers ⇒ 0.375 s
+    over 64) sustained for ~10× the job count, so every sampling instant
+    finds most of a 64-node fleet busy and the fleet engine's packed
+    settle/reallocate pass has real width.  One slot per worker — the
+    dedicated-node shape large training jobs actually get — keeps the
+    admission queue live for the whole stream and makes fleet *width*
+    (not per-node colocation depth, which is :func:`two_hundred_job`'s
+    axis) the thing being measured.  Pair with ``trace=False`` configs;
+    ``fleet_mode=True`` is what the scenario exists to measure
+    (``benchmarks/bench_perf_fleet.py``).
+    """
+    gen = WorkloadGenerator(_rng(seed, "poisson2000"))
+    return ClusterScenario(
+        specs=tuple(gen.poisson_mix(n_jobs, mean_gap=mean_gap)),
+        capacities=(1.0,) * 64,
+        max_containers=(1,) * 64,
+    )
 
 
 @dataclass(frozen=True)

@@ -102,11 +102,14 @@ class MetricsRecorder:
     # -- sampling -------------------------------------------------------------------
 
     def _schedule_sample(self) -> None:
+        # ``payload=self`` identifies the owning recorder to the fleet
+        # ticker's batched sampling pass; the serial path ignores it.
         self._handle = self.worker.sim.schedule_in(
             self.sample_interval,
             self._on_sample,
             kind=EventKind.METRIC_SAMPLE,
             priority=PRIORITY_SAMPLE,
+            payload=self,
         )
 
     def _on_sample(self, _event: Event) -> None:

@@ -15,11 +15,19 @@ Design notes
   or an event-count safety valve trips (runaway-loop protection: a correct
   simulation of this system needs O(jobs × reconfigurations) events, so an
   enormous count always indicates a bug, not a big workload).
+* A *batcher* (:meth:`Simulator.register_batcher`) widens ``step()`` into a
+  same-instant batching window for one event kind: every consecutive queued
+  event sharing the popped event's ``(time, kind, priority)`` is popped into
+  a single list and handed to the batcher in pop order.  The batcher is
+  responsible for firing each event (the engine only collects); the fleet
+  ticker uses this to coalesce per-worker sampling ticks into one fused
+  fleet pass.  ``events_processed`` counts every batched event, so batched
+  and unbatched runs agree on the event count exactly.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.simcore.clock import SimClock
@@ -57,6 +65,7 @@ class Simulator:
         self.max_events = int(max_events)
         self.events_processed = 0
         self._running = False
+        self._batchers: dict[EventKind, Callable[[list[Event]], None]] = {}
 
     # -- scheduling --------------------------------------------------------
 
@@ -113,10 +122,39 @@ class Simulator:
         """Cancel a scheduled event (idempotent)."""
         self.queue.cancel(handle)
 
+    # -- batching ----------------------------------------------------------
+
+    def register_batcher(
+        self, kind: EventKind, handler: Callable[[list[Event]], None]
+    ) -> None:
+        """Route same-instant events of *kind* through *handler*.
+
+        Whenever ``step()`` pops an event of *kind*, every consecutive
+        queued event with the same ``(time, kind, priority)`` is popped
+        along with it and the whole batch (in pop order) is passed to
+        *handler*, which must fire each event itself.  A lone event of
+        *kind* fires directly without involving the handler — batchers
+        only ever see genuine same-instant batches (size ≥ 2), so the
+        serial path pays one queue peek and nothing else.  One handler
+        per kind; re-registering replaces the previous handler.
+        """
+        self._batchers[kind] = handler
+
+    def unregister_batcher(self, kind: EventKind) -> None:
+        """Remove the batcher for *kind* (idempotent)."""
+        self._batchers.pop(kind, None)
+
     # -- execution ---------------------------------------------------------
 
     def step(self) -> Event | None:
-        """Fire the single earliest event; ``None`` when the queue is empty."""
+        """Fire the single earliest event; ``None`` when the queue is empty.
+
+        When a batcher is registered for the popped event's kind, every
+        consecutive same-``(time, kind, priority)`` event is popped into
+        one batch and dispatched through the batcher instead (see
+        :meth:`register_batcher`).  The returned event is the first of
+        the batch; ``events_processed`` advances by the batch size.
+        """
         if not self.queue:
             return None
         event = self.queue.pop()
@@ -127,7 +165,43 @@ class Simulator:
                 f"exceeded max_events={self.max_events}; "
                 "likely a runaway scheduling loop"
             )
-        event.fire()
+        batcher = self._batchers.get(event.kind) if self._batchers else None
+        if batcher is None:
+            event.fire()
+            return event
+        queue = self.queue
+        time, kind, priority = event.time, event.kind, event.priority
+        nxt = queue.peek_event()
+        if (
+            nxt is None
+            or nxt.time != time
+            or nxt.kind is not kind
+            or nxt.priority != priority
+        ):
+            # Lone event of a batched kind: fire it directly — handlers
+            # only ever see genuine same-instant batches (size ≥ 2), so
+            # a registered batcher costs one queue peek on the serial
+            # path, nothing more.
+            event.fire()
+            return event
+        batch = [event]
+        while True:
+            batch.append(queue.pop())
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a runaway scheduling loop"
+                )
+            nxt = queue.peek_event()
+            if (
+                nxt is None
+                or nxt.time != time
+                or nxt.kind is not kind
+                or nxt.priority != priority
+            ):
+                break
+        batcher(batch)
         return event
 
     def run(self, until: float | None = None) -> float:

@@ -93,8 +93,9 @@ class EventQueue:
         """
         while self._heap:
             _, handle = heapq.heappop(self._heap)
-            if handle.alive:
-                handle.cancel()  # consumed: prevents double-count in _live
+            if not handle.cancelled:
+                # Consumed: mark dead so _live never double-counts.
+                handle.cancelled = True
                 self._live -= 1
                 return handle.event
             self._dead -= 1
@@ -140,6 +141,18 @@ class EventQueue:
         if not self._heap:
             return None
         return self._heap[0][1].event.time
+
+    def peek_event(self) -> Event | None:
+        """The earliest live event itself, or ``None`` when empty.
+
+        The event stays queued; the engine's same-instant batching
+        window uses this to decide whether the head belongs to the batch
+        currently being collected without committing to the pop.
+        """
+        self._compact_head()
+        if not self._heap:
+            return None
+        return self._heap[0][1].event
 
     def _compact_head(self) -> None:
         """Pop dead entries sitting at the heap root."""

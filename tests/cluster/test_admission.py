@@ -1,5 +1,6 @@
 """Unit tests for the manager's capacity-aware admission queue
-and the pluggable admission policies (fifo / priority / wfq / sjf)."""
+and the pluggable admission policies (fifo / backfill / priority /
+wfq / sjf)."""
 
 from __future__ import annotations
 
@@ -7,6 +8,7 @@ import pytest
 
 from repro.cluster.admission import (
     ADMISSIONS,
+    BackfillAdmission,
     FifoAdmission,
     PriorityAdmission,
     SjfAdmission,
@@ -17,8 +19,12 @@ from repro.cluster.contention import ContentionModel
 from repro.cluster.manager import Manager
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
+from repro.containers.spec import ResourceSpec
 from repro.errors import CapacityError, ClusterError, ConfigError
 from repro.simcore.engine import Simulator
+from repro.workloads.curves import PiecewiseLinearCurve
+from repro.workloads.evalfn import EvalFunction, EvalKind
+from repro.workloads.job import TrainingJob
 from tests.conftest import make_linear_job
 
 
@@ -31,6 +37,21 @@ def _submission(label, t, work=50.0, tenant=None, weight=1.0, priority=0):
         weight=weight,
         priority=priority,
     )
+
+
+def _mem_submission(label, t, memory, work=50.0):
+    """A linear job with an explicit memory footprint (for fit probes)."""
+    job = TrainingJob(
+        name=label,
+        total_work=work,
+        curve=PiecewiseLinearCurve([(0.0, 1.0), (1.0, 0.0)]),
+        evalfn=EvalFunction(
+            kind=EvalKind.SQUARED_LOSS, start=1.0, converged=0.0
+        ),
+        footprint=ResourceSpec(cpu_demand=1.0, memory=memory),
+        total_iterations=1000,
+    )
+    return JobSubmission(label=label, job=job, submit_time=t)
 
 
 def _bounded_cluster(n=1, slots=1, seed=0, admission=None):
@@ -144,7 +165,9 @@ class TestAdmissionPolicies:
         return [policy.pop().label for _ in range(len(submissions))]
 
     def test_registry_names(self):
-        assert sorted(ADMISSIONS) == ["fifo", "priority", "sjf", "wfq"]
+        assert sorted(ADMISSIONS) == [
+            "backfill", "fifo", "priority", "sjf", "wfq",
+        ]
 
     def test_make_admission_defaults_to_fifo(self):
         assert isinstance(make_admission(None), FifoAdmission)
@@ -287,6 +310,158 @@ class TestAdmissionPolicies:
         policy.push(_submission("a", 0.0, work=30.0))
         policy.push(_submission("b", 0.0, work=20.0))
         assert policy.queued_work() == pytest.approx(50.0)
+
+    def test_default_pop_fitting_ignores_probe(self):
+        """Non-fit-aware policies release unconditionally — the probe is
+        advisory, preserving bit-identical historical drains."""
+        for name in ("fifo", "priority", "sjf", "wfq"):
+            policy = make_admission(name)
+            policy.push(_submission("only", 0.0))
+            released = policy.pop_fitting(lambda sub: False)
+            assert released is not None and released.label == "only"
+
+
+class TestBackfillAdmission:
+    """Fit-aware FIFO: small jobs flow around a stuck head, boundedly."""
+
+    def _fits_by_label(self, *labels):
+        allowed = set(labels)
+        return lambda sub: sub.label in allowed
+
+    def test_fitting_head_is_plain_fifo(self):
+        policy = BackfillAdmission()
+        for i in range(4):
+            policy.push(_submission(f"J{i}", float(i)))
+        order = [
+            policy.pop_fitting(lambda sub: True).label for _ in range(4)
+        ]
+        assert order == ["J0", "J1", "J2", "J3"]
+        assert policy.backfills == 0
+
+    def test_backfills_earliest_fitting_job(self):
+        policy = BackfillAdmission()
+        for label in ("big", "mid", "small-1", "small-2"):
+            policy.push(_submission(label, 0.0))
+        fits = self._fits_by_label("small-1", "small-2")
+        assert policy.pop_fitting(fits).label == "small-1"
+        assert policy.pop_fitting(fits).label == "small-2"
+        assert policy.backfills == 2
+        assert [s.label for s in policy.queued()] == ["big", "mid"]
+
+    def test_nothing_fits_returns_none(self):
+        policy = BackfillAdmission()
+        policy.push(_submission("a", 0.0))
+        policy.push(_submission("b", 1.0))
+        assert policy.pop_fitting(lambda sub: False) is None
+        assert len(policy) == 2
+
+    def test_empty_queue_returns_none(self):
+        assert BackfillAdmission().pop_fitting(lambda sub: True) is None
+
+    def test_aging_suspends_backfill(self):
+        """After max_skips jumps the head blocks the queue: fitting jobs
+        wait behind it instead of starving it."""
+        policy = BackfillAdmission(max_skips=2)
+        policy.push(_submission("head", 0.0))
+        fits = self._fits_by_label("f1", "f2", "f3")
+        for label in ("f1", "f2", "f3"):
+            policy.push(_submission(label, 1.0))
+        assert policy.pop_fitting(fits).label == "f1"
+        assert policy.pop_fitting(fits).label == "f2"
+        # Budget exhausted: f3 fits but must not jump the head again.
+        assert policy.pop_fitting(fits) is None
+        assert policy.backfills == 2
+        # Once the head fits, it drains first and the budget resets.
+        fits_all = lambda sub: True  # noqa: E731
+        assert policy.pop_fitting(fits_all).label == "head"
+        assert policy.pop_fitting(fits_all).label == "f3"
+
+    def test_skip_budget_belongs_to_the_head(self):
+        """A released head resets the budget for its successor."""
+        policy = BackfillAdmission(max_skips=1)
+        for label in ("h1", "h2", "fit-1", "fit-2"):
+            policy.push(_submission(label, 0.0))
+        fits = self._fits_by_label("fit-1", "fit-2")
+        assert policy.pop_fitting(fits).label == "fit-1"  # skip h1
+        assert policy.pop_fitting(fits) is None  # h1's budget is spent
+        fits_h1 = self._fits_by_label("h1", "fit-2")
+        assert policy.pop_fitting(fits_h1).label == "h1"
+        # h2 is the new head with a fresh budget of 1.
+        assert policy.pop_fitting(fits).label == "fit-2"
+
+    def test_max_skips_zero_is_strict_fifo(self):
+        policy = BackfillAdmission(max_skips=0)
+        policy.push(_submission("head", 0.0))
+        policy.push(_submission("fit", 1.0))
+        assert policy.pop_fitting(self._fits_by_label("fit")) is None
+
+    def test_bad_max_skips_rejected(self):
+        with pytest.raises(ConfigError):
+            BackfillAdmission(max_skips=-1)
+
+    def test_describe_names_the_bound(self):
+        assert BackfillAdmission(max_skips=4).describe() == (
+            "backfill (max_skips=4)"
+        )
+
+    def test_manager_backfills_around_memory_pressure(self):
+        """End to end: a small job jumps a head that would overcommit
+        the only worker with a free slot, and the head still completes."""
+        sim = Simulator(seed=0, trace=False)
+        worker = Worker(
+            sim,
+            name="w0",
+            contention=ContentionModel.ideal(),
+            max_containers=2,
+        )
+        policy = BackfillAdmission()
+        manager = Manager(sim, [worker], admission=policy)
+        manager.submit_all([
+            _mem_submission("A-long", 0.0, memory=0.5, work=100.0),
+            _mem_submission("B-short", 0.0, memory=0.4, work=30.0),
+            # Queued behind a full node; C overcommits next to A, D fits.
+            _mem_submission("C-big", 1.0, memory=0.6, work=20.0),
+            _mem_submission("D-small", 2.0, memory=0.05, work=20.0),
+        ])
+        sim.run_until_empty()
+        assert policy.backfills == 1
+        placed = sorted(
+            manager.placements.values(), key=lambda p: p.placed_time
+        )
+        order = [p.label for p in placed]
+        assert order[:2] == ["A-long", "B-short"]
+        # D backfilled past C when B's exit freed a slot next to A...
+        assert order.index("D-small") < order.index("C-big")
+        # ...and C was not starved: every job ran to completion.
+        assert set(manager.placements) == {
+            "A-long", "B-short", "C-big", "D-small",
+        }
+
+    def test_manager_max_skips_zero_blocks_drain(self):
+        """The aging knob at 0 degrades backfill to strict FIFO waiting."""
+        sim = Simulator(seed=0, trace=False)
+        worker = Worker(
+            sim,
+            name="w0",
+            contention=ContentionModel.ideal(),
+            max_containers=2,
+        )
+        manager = Manager(
+            sim, [worker], admission=BackfillAdmission(max_skips=0)
+        )
+        manager.submit_all([
+            _mem_submission("A-long", 0.0, memory=0.5, work=100.0),
+            _mem_submission("B-short", 0.0, memory=0.4, work=30.0),
+            _mem_submission("C-big", 1.0, memory=0.6, work=20.0),
+            _mem_submission("D-small", 2.0, memory=0.05, work=20.0),
+        ])
+        sim.run_until_empty()
+        placed = sorted(
+            manager.placements.values(), key=lambda p: p.placed_time
+        )
+        order = [p.label for p in placed]
+        # No jumping: C waits for A to exit, D waits behind C.
+        assert order.index("C-big") < order.index("D-small")
 
 
 class TestManagerWithAdmissionPolicies:

@@ -15,13 +15,18 @@ invariants that must hold for any of them:
   reservations included), checked after *every* simulation event;
 * the admission queue fully drains — under ``wfq`` this doubles as the
   no-starvation witness: every tenant with positive weight finishes;
-* repeating a run with the same seed is bit-identical.
+* repeating a run with the same seed is bit-identical;
+* the fused fleet-tick engine (``fleet_mode``) reproduces the serial
+  per-worker path bit-for-bit — completion times, failure records *and*
+  every recorded metric series — across the same policy matrix.
 
 Shapes are drawn from a ``numpy`` generator seeded independently of the
 simulator, so the same test seed always fuzzes the same cluster.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 import pytest
@@ -30,6 +35,7 @@ from repro.cluster.admission import ADMISSIONS
 from repro.cluster.autoscale import AUTOSCALERS, QueueDepthAutoscale
 from repro.cluster.contention import ContentionModel
 from repro.cluster.failures import FAILURES, RandomFailures
+from repro.cluster.fleet import FleetTicker
 from repro.cluster.manager import Manager
 from repro.cluster.placement import PLACEMENTS
 from repro.cluster.rebalance import (
@@ -39,6 +45,7 @@ from repro.cluster.rebalance import (
 )
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
+from repro.metrics.recorder import MetricsRecorder
 from repro.simcore.engine import Simulator
 from tests.conftest import make_linear_job
 
@@ -78,8 +85,18 @@ def _run_checked(
     admission="fifo",
     autoscale=None,
     failures=None,
+    fleet_mode=None,
 ) -> dict[str, str]:
-    """Run one fuzz case, asserting invariants; return label → repr(t_f)."""
+    """Run one fuzz case, asserting invariants; return label → repr(t_f).
+
+    ``fleet_mode=None`` (the default) runs without metric recorders —
+    the historical harness.  ``False``/``True`` attach a started
+    recorder to every worker (provisioned ones included) and run the
+    serial/fused sampling path respectively; the returned summary then
+    also digests every recorded series bit-for-bit, so comparing a
+    ``False`` run against a ``True`` run proves the fused engine changed
+    nothing.
+    """
     capacities, slots, jobs = _random_shape(seed)
     sim = Simulator(seed=seed, trace=False)
     workers = [
@@ -122,6 +139,19 @@ def _run_checked(
     manager.provision_hooks.append(
         lambda w: w.exit_hooks.append(record)
     )
+    recorders: list[MetricsRecorder] = []
+    if fleet_mode is not None:
+        if fleet_mode:
+            FleetTicker(sim).arm()
+
+        def instrument(w):
+            recorder = MetricsRecorder(w, sample_interval=5.0)
+            recorder.start()
+            recorders.append(recorder)
+
+        for worker in workers:
+            instrument(worker)
+        manager.provision_hooks.append(instrument)
     manager.submit_all(
         [
             JobSubmission(
@@ -135,15 +165,30 @@ def _run_checked(
             for label, work, demand, t, tenant, weight, priority in jobs
         ]
     )
-    while True:
-        event = sim.step()
-        if event is None:
-            break
+    def check_slots(event):
         for worker in manager.workers:
             occupied = len(worker.running_containers()) + worker.reserved
             assert worker.max_containers is None or (
                 occupied <= worker.max_containers
             ), f"{worker.name} over capacity after {event!r}"
+
+    if recorders:
+        # Recorders reschedule themselves forever; step until every job
+        # resolves (like the runner), then stop sampling and drain the
+        # remaining manager/autoscale events.
+        expected = len(jobs)
+        while len(finished) + len(manager.failed) < expected:
+            event = sim.step()
+            if event is None:
+                break
+            check_slots(event)
+        for recorder in recorders:
+            recorder.stop()
+    while True:
+        event = sim.step()
+        if event is None:
+            break
+        check_slots(event)
 
     # Exactly-once completion, wherever migrations/autoscaling/crash-
     # restarts took each job — under wfq this is the no-starvation
@@ -180,6 +225,24 @@ def _run_checked(
         result[f"failed:{label}"] = repr((used, lost))
     for label, used in manager.retries.items():
         result[f"retries:{label}"] = repr(used)
+    # Bit-exact digest of every recorded series: the serial vs fused
+    # comparison must not lose or perturb a single sample.
+    for recorder in recorders:
+        for cid in sorted(recorder.traces):
+            trace = recorder.traces[cid]
+            digest = hashlib.sha256()
+            for series in (
+                trace.cpu_usage,
+                trace.cpu_limit,
+                trace.eval_value,
+                trace.growth,
+            ):
+                if len(series):
+                    times, values = series.arrays()
+                    digest.update(times.tobytes())
+                    digest.update(values.tobytes())
+            key = f"trace:{recorder.worker.name}:{trace.label}"
+            result[key] = digest.hexdigest()
     return result
 
 
@@ -313,6 +376,95 @@ def test_chaos_composes_with_autoscale(seed):
     assert run() == run()
 
 
+class TestFleetModeParity:
+    """The fused fleet-tick engine vs the serial oracle, fuzzed.
+
+    Every test runs the same random cluster shape twice — serial
+    sampling and fused (``FleetTicker`` armed) — and asserts the full
+    summaries match bit-for-bit: completion times, failure/retry
+    records and a sha256 over every recorded metric series.  Together
+    the tests sweep all five policy axes (placement, rebalance,
+    admission, autoscale, failures).
+    """
+
+    @pytest.mark.parametrize("placement", sorted(PLACEMENTS))
+    @pytest.mark.parametrize("rebalance", sorted(REBALANCERS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_placement_rebalance_matrix(self, placement, rebalance, seed):
+        serial = _run_checked(
+            seed, placement, rebalance, fleet_mode=False
+        )
+        fused = _run_checked(seed, placement, rebalance, fleet_mode=True)
+        assert serial == fused
+
+    @pytest.mark.parametrize("admission", sorted(ADMISSIONS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_admission_axis(self, admission, seed):
+        serial = _run_checked(
+            seed, "spread", "none", admission=admission, fleet_mode=False
+        )
+        fused = _run_checked(
+            seed, "spread", "none", admission=admission, fleet_mode=True
+        )
+        assert serial == fused
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_autoscale_axis(self, seed):
+        """Provision/retire churn: the fused pass must track recorders
+        attached to workers born mid-run."""
+        def run(fleet_mode):
+            return _run_checked(
+                seed,
+                "spread",
+                "none",
+                autoscale=QueueDepthAutoscale(
+                    up_threshold=2, provision_delay=5.0, cooldown=0.0
+                ),
+                fleet_mode=fleet_mode,
+            )
+
+        assert run(False) == run(True)
+
+    @pytest.mark.parametrize(
+        "failures", ["random", "random:checkpoint(20)"]
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_failures_axis(self, failures, seed):
+        """Crash/recover churn: packed arenas built and torn down around
+        workers dying mid-tick must not perturb a single sample."""
+        serial = _run_checked(
+            seed, "spread", "none", failures=failures, fleet_mode=False
+        )
+        fused = _run_checked(
+            seed, "spread", "none", failures=failures, fleet_mode=True
+        )
+        assert serial == fused
+
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_composed_axes(self, seed):
+        """Migration + autoscale + non-fifo admission, fused vs serial."""
+        def run(fleet_mode):
+            return _run_checked(
+                seed,
+                "binpack",
+                MigrateOnExit(migration_delay=3.0),
+                admission="sjf",
+                autoscale=QueueDepthAutoscale(
+                    up_threshold=2, provision_delay=5.0, cooldown=0.0
+                ),
+                fleet_mode=fleet_mode,
+            )
+
+        assert run(False) == run(True)
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_fused_repeat_is_bit_identical(self, seed):
+        """Fused runs are also deterministic against themselves."""
+        first = _run_checked(seed, "spread", "none", fleet_mode=True)
+        second = _run_checked(seed, "spread", "none", fleet_mode=True)
+        assert first == second
+
+
 def test_wfq_light_tenant_not_starved_by_flood():
     """A continuously backlogged heavy tenant cannot starve a light one.
 
@@ -357,7 +509,9 @@ def test_registries_are_fully_covered():
         "affinity", "binpack", "progress", "random", "spread",
     ]
     assert sorted(REBALANCERS) == ["migrate", "none", "progress"]
-    assert sorted(ADMISSIONS) == ["fifo", "priority", "sjf", "wfq"]
+    assert sorted(ADMISSIONS) == [
+        "backfill", "fifo", "priority", "sjf", "wfq",
+    ]
     assert sorted(AUTOSCALERS) == ["none", "progress", "queue_depth"]
     assert sorted(FAILURES) == [
         "az_outage", "none", "random", "rolling", "slow",

@@ -165,7 +165,7 @@ class TestUnknownPolicyNames:
             (make_placement,
              ["affinity", "binpack", "progress", "random", "spread"]),
             (make_rebalance, ["migrate", "none", "progress"]),
-            (make_admission, ["fifo", "priority", "sjf", "wfq"]),
+            (make_admission, ["backfill", "fifo", "priority", "sjf", "wfq"]),
             (make_autoscale, ["none", "progress", "queue_depth"]),
             (make_failures,
              ["az_outage", "none", "random", "rolling", "slow"]),

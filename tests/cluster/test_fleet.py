@@ -1,0 +1,490 @@
+"""Unit tests for the fused fleet-tick engine.
+
+The contracts under test, each against the serial path as the oracle:
+
+* **Engine batching** — a registered batcher only ever receives genuine
+  same-instant batches (size ≥ 2, same ``(time, kind, priority)``, pop
+  order); lone events of a batched kind fire directly, and
+  ``events_processed`` counts every batched event.
+* **Phase parity** — :func:`fleet_settle` / :func:`fleet_reallocate` /
+  the segmented allocator reproduce ``settle()`` / ``poke()`` /
+  per-worker ``allocate()`` bit for bit, including the scalar fallbacks
+  for dynamic footprints and the validation errors of the serial path.
+* **Ticker lifecycle** — recorders discovered from event payloads,
+  foreign and stopped-recorder events fire normally, caches invalidate
+  on pool changes, and the fused prune keeps history bounded on the
+  serial cadence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.fleet import (
+    FleetTicker,
+    fleet_reallocate,
+    fleet_sample,
+    fleet_settle,
+)
+from repro.cluster.worker import Worker
+from repro.containers.allocator import AllocationMode, CpuAllocator
+from repro.containers.spec import ResourceSpec
+from repro.errors import AllocationError
+from repro.metrics.recorder import MetricsRecorder
+from repro.simcore.engine import Simulator
+from repro.simcore.events import PRIORITY_SAMPLE, EventKind
+from repro.workloads.curves import PiecewiseLinearCurve
+from repro.workloads.evalfn import EvalFunction, EvalKind
+from repro.workloads.job import TrainingJob
+from tests.conftest import make_linear_job
+
+
+class _DynamicSpec(ResourceSpec):
+    """A non-plain footprint: forces the scalar settle/finish fallbacks."""
+
+
+def _build_fleet(
+    seed: int,
+    jobs_per_worker: tuple[int, ...] = (2, 1, 3),
+    contention=None,
+    total_work: float = 300.0,
+    dynamic: frozenset[int] = frozenset(),
+):
+    """A small fleet with a deterministic mix of pool sizes."""
+    sim = Simulator(seed=seed, trace=False)
+    workers = []
+    for i, n_jobs in enumerate(jobs_per_worker):
+        w = Worker(
+            sim,
+            name=f"w{i}",
+            contention=contention() if contention is not None else None,
+            max_containers=4,
+        )
+        for k in range(n_jobs):
+            demand = 0.5 + 0.1 * ((i + k) % 5)
+            if i in dynamic:
+                job = TrainingJob(
+                    name=f"w{i}-j{k}",
+                    total_work=total_work,
+                    curve=PiecewiseLinearCurve([(0.0, 1.0), (1.0, 0.0)]),
+                    evalfn=EvalFunction(
+                        kind=EvalKind.SQUARED_LOSS, start=1.0, converged=0.0
+                    ),
+                    footprint=_DynamicSpec(cpu_demand=demand, memory=0.1),
+                    total_iterations=1000,
+                )
+            else:
+                job = make_linear_job(
+                    f"w{i}-j{k}", total_work=total_work, demand=demand
+                )
+            w.launch(job)
+        workers.append(w)
+    return sim, workers
+
+
+def _settle_state(workers):
+    return [
+        (
+            c.name,
+            repr(c.job.work_done),
+            c.cgroup._integral.tolist(),
+            repr(c.cgroup.last_update),
+        )
+        for w in workers
+        for c in w.running_containers()
+    ]
+
+
+def _alloc_state(workers):
+    return [
+        (
+            w.name,
+            w.version,
+            [repr(c.current_alloc) for c in w._active],
+            {
+                c.name: repr(w._exit_handles[c.cid].event.time)
+                for c in w._active
+                if c.cid in w._exit_handles and w._exit_handles[c.cid].alive
+            },
+        )
+        for w in workers
+    ]
+
+
+class TestEngineBatching:
+    def _sim(self):
+        sim = Simulator(seed=0, trace=False)
+        fired: list = []
+        batches: list = []
+
+        def batcher(batch):
+            batches.append([ev.payload for ev in batch])
+            for ev in batch:
+                ev.fire()
+
+        sim.register_batcher(EventKind.GENERIC, batcher)
+        return sim, fired, batches
+
+    def test_lone_event_fires_directly(self):
+        sim, fired, batches = self._sim()
+        sim.schedule(
+            1.0, lambda ev: fired.append(ev.payload), kind=EventKind.GENERIC,
+            payload="solo",
+        )
+        sim.run_until_empty()
+        assert fired == ["solo"]
+        assert batches == []  # never saw a size-1 batch
+        assert sim.events_processed == 1
+
+    def test_same_instant_events_batch_in_pop_order(self):
+        sim, fired, batches = self._sim()
+        for i in range(3):
+            sim.schedule(
+                2.0, lambda ev: fired.append(ev.payload),
+                kind=EventKind.GENERIC, payload=i,
+            )
+        sim.run_until_empty()
+        assert batches == [[0, 1, 2]]  # one batch, FIFO within the instant
+        assert fired == [0, 1, 2]  # the batcher fired each event itself
+        assert sim.events_processed == 3
+
+    def test_priority_mismatch_breaks_the_batch(self):
+        sim, fired, batches = self._sim()
+        for i in range(2):
+            sim.schedule(
+                3.0, lambda ev: fired.append(ev.payload),
+                kind=EventKind.GENERIC, payload=f"p0-{i}",
+            )
+        sim.schedule(
+            3.0, lambda ev: fired.append(ev.payload),
+            kind=EventKind.GENERIC, priority=1, payload="p1",
+        )
+        sim.run_until_empty()
+        assert batches == [["p0-0", "p0-1"]]
+        assert fired == ["p0-0", "p0-1", "p1"]  # lone p1 fired directly
+
+    def test_other_kinds_pass_through_untouched(self):
+        sim, fired, batches = self._sim()
+        for i in range(2):
+            sim.schedule(
+                4.0, lambda ev: fired.append(ev.payload),
+                kind=EventKind.METRIC_SAMPLE, payload=i,
+            )
+        sim.run_until_empty()
+        assert batches == []
+        assert fired == [0, 1]
+
+    def test_unregister_restores_serial_dispatch(self):
+        sim, fired, batches = self._sim()
+        sim.unregister_batcher(EventKind.GENERIC)
+        for i in range(2):
+            sim.schedule(
+                5.0, lambda ev: fired.append(ev.payload),
+                kind=EventKind.GENERIC, payload=i,
+            )
+        sim.run_until_empty()
+        assert batches == []
+        assert fired == [0, 1]
+
+
+class TestFleetSettleParity:
+    @pytest.mark.parametrize("contention", [ContentionModel.ideal, None])
+    def test_matches_per_worker_settle_bitwise(self, contention):
+        serial_sim, serial_workers = _build_fleet(3, contention=contention)
+        fused_sim, fused_workers = _build_fleet(3, contention=contention)
+        for t in (2.5, 7.0, 7.0):  # repeat: second settle at 7.0 is a no-op
+            serial_sim.clock.advance_to(t)
+            fused_sim.clock.advance_to(t)
+            for w in serial_workers:
+                w.settle()
+            fleet_settle(fused_workers)
+        assert _settle_state(serial_workers) == _settle_state(fused_workers)
+
+    def test_dynamic_footprints_take_scalar_fallback_identically(self):
+        serial_sim, serial_workers = _build_fleet(5, dynamic=frozenset({1}))
+        fused_sim, fused_workers = _build_fleet(5, dynamic=frozenset({1}))
+        serial_sim.clock.advance_to(4.0)
+        fused_sim.clock.advance_to(4.0)
+        for w in serial_workers:
+            w.settle()
+        fleet_settle(fused_workers)
+        assert _settle_state(serial_workers) == _settle_state(fused_workers)
+
+    def test_empty_worker_just_advances_its_clock(self):
+        sim, workers = _build_fleet(0, jobs_per_worker=(2, 0, 1))
+        sim.clock.advance_to(3.0)
+        fleet_settle(workers)
+        assert all(w._last_settle == 3.0 for w in workers)
+
+
+class TestFleetReallocateParity:
+    @pytest.mark.parametrize("contention", [ContentionModel.ideal, None])
+    def test_matches_per_worker_poke_bitwise(self, contention):
+        """Same allocations, versions, exit times and RNG draw order."""
+        serial_sim, serial_workers = _build_fleet(9, contention=contention)
+        fused_sim, fused_workers = _build_fleet(9, contention=contention)
+        for t in (3.0, 8.5):
+            serial_sim.clock.advance_to(t)
+            fused_sim.clock.advance_to(t)
+            for w in serial_workers:
+                w.poke()
+            fleet_settle(fused_workers)
+            fleet_reallocate(fused_workers)
+        assert _alloc_state(serial_workers) == _alloc_state(fused_workers)
+        assert _settle_state(serial_workers) == _settle_state(fused_workers)
+
+    def test_dynamic_memory_takes_serial_finish_identically(self):
+        """mem=None workers run ``_realloc_finish`` in place, same bits."""
+        serial_sim, serial_workers = _build_fleet(2, dynamic=frozenset({0}))
+        fused_sim, fused_workers = _build_fleet(2, dynamic=frozenset({0}))
+        serial_sim.clock.advance_to(5.0)
+        fused_sim.clock.advance_to(5.0)
+        for w in serial_workers:
+            w.poke()
+        fleet_settle(fused_workers)
+        fleet_reallocate(fused_workers)
+        assert _alloc_state(serial_workers) == _alloc_state(fused_workers)
+
+    def test_already_poked_worker_is_skipped(self):
+        sim, workers = _build_fleet(4)
+        sim.clock.advance_to(2.0)
+        workers[0].poke()
+        version = workers[0].version
+        fleet_reallocate(workers)
+        assert workers[0].version == version  # poke coalescing preserved
+        assert all(w.version > 0 for w in workers[1:])
+
+    def test_empty_pool_completes_reallocation(self):
+        sim, workers = _build_fleet(6, jobs_per_worker=(0, 2))
+        sim.clock.advance_to(2.0)
+        fleet_reallocate(workers)
+        assert workers[0]._allocs.shape == (0,)
+        assert workers[0]._last_poke == (2.0, workers[0].version)
+
+
+class TestAllocateSegmented:
+    def _random_segments(self, rng, sizes):
+        caps = [float(c) for c in rng.uniform(0.5, 2.0, len(sizes))]
+        lims = [rng.uniform(0.05, 1.0, n) for n in sizes]
+        dems = [rng.uniform(0.0, 1.2, n) for n in sizes]
+        wts = [
+            rng.uniform(0.5, 2.0, n) if rng.random() < 0.5 else None
+            for n in sizes
+        ]
+        return caps, lims, dems, wts
+
+    @pytest.mark.parametrize("mode", [AllocationMode.SOFT, AllocationMode.HARD])
+    def test_parity_with_per_worker_allocate(self, mode):
+        rng = np.random.default_rng(12)
+        allocator = CpuAllocator(mode)
+        for trial in range(8):
+            sizes = [int(n) for n in rng.integers(1, 7, rng.integers(1, 6))]
+            if trial == 0:
+                sizes.append(70)  # beyond the scalar bound: delegates
+            if trial == 1:
+                sizes.append(0)  # empty segment
+            caps, lims, dems, wts = self._random_segments(rng, sizes)
+            got = allocator.allocate_segmented(caps, lims, dems, wts)
+            for c, li, d, w, alloc in zip(caps, lims, dems, wts, got):
+                want = allocator.allocate(c, li, d, w)
+                assert alloc.tolist() == want.tolist()
+
+    def test_all_singleton_segments_broadcast_identically(self):
+        """The n==1 broadcast pipeline vs the per-segment scalar path."""
+        rng = np.random.default_rng(3)
+        allocator = CpuAllocator(AllocationMode.SOFT)
+        sizes = [1] * 40
+        caps, lims, dems, wts = self._random_segments(rng, sizes)
+        got = allocator.allocate_segmented(caps, lims, dems, wts)
+        for c, li, d, w, alloc in zip(caps, lims, dems, wts, got):
+            assert alloc.tolist() == allocator.allocate(c, li, d, w).tolist()
+
+    def test_invalid_limits_raise_like_the_serial_path(self):
+        allocator = CpuAllocator(AllocationMode.SOFT)
+        good = np.array([0.5, 0.5])
+        bad = np.array([0.0, 0.5])  # zero limit: invalid
+        with pytest.raises(AllocationError):
+            allocator.allocate(1.0, bad, good)
+        with pytest.raises(AllocationError):
+            allocator.allocate_segmented(
+                [1.0, 1.0], [good, bad], [good, good], [None, None]
+            )
+
+    def test_invalid_singleton_weights_raise_like_the_serial_path(self):
+        allocator = CpuAllocator(AllocationMode.SOFT)
+        one = np.array([0.8])
+        with pytest.raises(AllocationError):
+            allocator.allocate(1.0, one, one, np.array([-1.0]))
+        with pytest.raises(AllocationError):
+            allocator.allocate_segmented(
+                [1.0, 1.0], [one, one], [one, one],
+                [np.array([1.0]), np.array([-1.0])],
+            )
+
+
+def _ticked_fleet(
+    n_workers: int,
+    fleet: bool = True,
+    sample_interval: float = 5.0,
+    total_work: float = 10_000.0,
+):
+    sim = Simulator(seed=0, trace=False)
+    workers = [
+        Worker(
+            sim,
+            name=f"w{i}",
+            contention=ContentionModel.ideal(),
+            max_containers=4,
+        )
+        for i in range(n_workers)
+    ]
+    for i, w in enumerate(workers):
+        w.launch(make_linear_job(f"w{i}-j", total_work=total_work, demand=0.8))
+    recorders = [
+        MetricsRecorder(w, sample_interval=sample_interval) for w in workers
+    ]
+    for r in recorders:
+        r.start()
+    ticker = FleetTicker(sim)
+    if fleet:
+        ticker.arm()
+    return sim, workers, recorders, ticker
+
+
+class TestFleetTicker:
+    def test_counters_track_fused_work(self):
+        sim, workers, recorders, ticker = _ticked_fleet(3)
+        sim.run(until=30.0)  # ticks at 5, 10, ..., 30
+        assert ticker.fused_batches == 6
+        assert ticker.batched_events == 18  # every tick batches 3 events
+        assert ticker.fused_samples == 18  # one container per worker
+        for r in recorders:
+            r.stop()
+
+    def test_single_worker_never_reaches_the_batcher(self):
+        sim, workers, recorders, ticker = _ticked_fleet(1)
+        sim.run(until=30.0)
+        assert ticker.batched_events == 0  # lone ticks fire directly
+        assert ticker.fused_batches == 0
+        [r] = recorders
+        assert len(r.traces) == 1  # serial sampling still ran
+        for trace in r.traces.values():
+            assert len(trace.cpu_usage) == 6
+        r.stop()
+
+    def test_foreign_payload_fires_normally(self):
+        sim, workers, recorders, ticker = _ticked_fleet(2)
+        fired = []
+        sim.schedule(
+            5.0,
+            lambda ev: fired.append(ev.payload),
+            kind=EventKind.METRIC_SAMPLE,
+            priority=PRIORITY_SAMPLE,
+            payload="foreign",
+        )
+        sim.run(until=10.0)
+        assert fired == ["foreign"]
+        assert ticker.fused_batches == 2  # both ticks still fused
+        for r in recorders:
+            r.stop()
+
+    def test_stopped_recorder_drops_out_of_the_fused_pass(self):
+        sim, workers, recorders, ticker = _ticked_fleet(3)
+        sim.run(until=10.0)
+        recorders[0].stop()
+        before = len(recorders[0].traces[next(iter(recorders[0].traces))].cpu_usage)
+        sim.run(until=20.0)
+        assert ticker.fused_batches == 4  # the other two keep fusing
+        [trace] = recorders[0].traces.values()
+        assert len(trace.cpu_usage) == before  # no samples after stop
+        for trace in recorders[1].traces.values():
+            assert len(trace.cpu_usage) == 4
+        for r in recorders[1:]:
+            r.stop()
+
+    def test_static_cache_rebuilds_on_pool_change(self):
+        """A mid-run launch invalidates the version-keyed static entries."""
+        sim, workers, recorders, ticker = _ticked_fleet(2)
+        sim.run(until=12.0)
+        late = workers[0].launch(
+            make_linear_job("late", total_work=10_000.0, demand=0.5)
+        )
+        sim.run(until=22.0)
+        trace = recorders[0].traces[late.cid]  # fused pass created it
+        times = trace.cpu_usage.arrays()[0].tolist()
+        assert times == [15.0, 20.0]  # sampled from the attach instant on
+        for r in recorders:
+            r.stop()
+
+    def test_fused_sampling_matches_serial_bitwise(self):
+        serial = _ticked_fleet(3, fleet=False)
+        fused = _ticked_fleet(3, fleet=True)
+        for sim, *_ in (serial, fused):
+            sim.run(until=200.0)
+
+        def series(run):
+            _, _, recorders, _ = run
+            out = {}
+            for r in recorders:
+                for trace in r.traces.values():
+                    for name in ("cpu_usage", "cpu_limit", "eval_value", "growth"):
+                        times, values = getattr(trace, name).arrays()
+                        out[f"{r.worker.name}:{trace.label}:{name}"] = (
+                            times.tobytes(),
+                            values.tobytes(),
+                        )
+            return out
+
+        assert series(serial) == series(fused)
+        assert serial[0].events_processed == fused[0].events_processed
+        for run in (serial, fused):
+            for r in run[2]:
+                r.stop()
+
+    def test_fused_prune_keeps_history_bounded_on_serial_cadence(self):
+        """The fused pass carries the bus's memory bound, same floors."""
+        serial = _ticked_fleet(2, fleet=False, sample_interval=2.0)
+        fused = _ticked_fleet(2, fleet=True, sample_interval=2.0)
+        for sim, *_ in (serial, fused):
+            sim.run(until=500.0)
+
+        def floors(run):
+            _, workers, _, _ = run
+            return [
+                (
+                    w.name,
+                    c.name,
+                    repr(c.cgroup.history_floor),
+                    c.cgroup.checkpoint_count,
+                    w.obsbus.passes,
+                )
+                for w in workers
+                for c in w.running_containers()
+            ]
+
+        assert floors(serial) == floors(fused)
+        for _, workers, _, _ in (fused,):
+            for w in workers:
+                for c in w.running_containers():
+                    assert c.cgroup.history_floor > c.created_at  # pruned
+                    assert c.cgroup.checkpoint_count <= 64  # bounded
+        for run in (serial, fused):
+            for r in run[2]:
+                r.stop()
+
+    def test_fleet_sample_without_static_cache(self):
+        """``static_cache=None`` (ad-hoc callers) builds entries in place."""
+        sim, workers, recorders, ticker = _ticked_fleet(2, fleet=False)
+        sim.run(until=5.0)  # serial tick at 5.0 seeds the sampler windows
+        sim.clock.advance_to(8.0)
+        fleet_settle(workers)
+        fleet_reallocate(workers)
+        n = fleet_sample(recorders, {})
+        assert n == 2  # one window mean per (recorder, container)
+        for r in recorders:
+            for trace in r.traces.values():
+                assert trace.cpu_usage.arrays()[0].tolist() == [5.0, 8.0]
+            r.stop()

@@ -51,6 +51,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--autoscale", "manual"])
 
+    def test_profile_flag_parses(self):
+        assert build_parser().parse_args(["compare"]).profile is False
+        assert build_parser().parse_args(
+            ["compare", "--profile"]
+        ).profile is True
+        assert build_parser().parse_args(
+            ["sweep", "--profile"]
+        ).profile is True
+
     def test_failures_spec_parses(self):
         args = build_parser().parse_args(["compare"])
         assert args.failures == "none"
@@ -164,6 +173,25 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "failures:" in out and "crash-restarts" in out
+
+    def test_compare_profile_dumps_cprofile_to_stderr(self, capsys):
+        assert main([
+            "compare", "--jobs", "3", "--alpha", "0.05",
+            "--itval", "20", "--seed", "1", "--profile",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "wins" in captured.out  # the command output stays on stdout
+        assert "cumulative" in captured.err  # pstats column header
+        assert "function calls" in captured.err
+
+    def test_sweep_profile_dumps_cprofile_to_stderr(self, capsys):
+        assert main([
+            "sweep", "--alphas", "0.05", "--itvals", "20", "--seed", "1",
+            "--profile",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "itval=20" in captured.out
+        assert "cumulative" in captured.err
 
     def test_compare_with_wfq_tenants(self, capsys):
         assert main([
