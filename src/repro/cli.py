@@ -44,7 +44,11 @@ from repro.experiments.report import (
 )
 from repro.experiments.runner import run_cluster
 from repro.experiments.scenarios import fixed_three_job
-from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.generator import (
+    STREAM_FAMILIES,
+    WorkloadGenerator,
+    make_stream,
+)
 
 __all__ = ["main"]
 
@@ -227,16 +231,30 @@ def _assign_tenants(specs, weights: dict[str, float]):
 
 
 def _cmd_compare(args) -> int:
-    if args.jobs == 3:
+    if args.workload != "random":
+        tenants = None
+        if args.tenant_weights:
+            weights = _parse_tenant_weights(args.tenant_weights)
+            tenants = tuple(
+                (name, 1.0, weights[name]) for name in sorted(weights)
+            )
+        params = {} if tenants is None else {"tenants": tenants}
+        specs = make_stream(
+            args.workload, n_jobs=args.jobs, seed=args.seed, **params
+        )
+    elif args.jobs == 3:
         specs = fixed_three_job()
     else:
         gen = WorkloadGenerator(np.random.default_rng(args.seed))
         specs = gen.random_mix(args.jobs)
-    if args.tenant_weights:
+    if args.tenant_weights and args.workload == "random":
         specs = _assign_tenants(
             specs, _parse_tenant_weights(args.tenant_weights)
         )
-    sim_cfg = SimulationConfig(seed=args.seed, trace=False)
+    sim_cfg = SimulationConfig(
+        seed=args.seed, trace=False,
+        streaming_metrics=args.streaming_metrics,
+    )
     fc_cfg = FlowConConfig(alpha=args.alpha, itval=args.itval)
     cluster = dict(
         n_workers=args.workers,
@@ -249,6 +267,8 @@ def _cmd_compare(args) -> int:
     )
     na = run_cluster(specs, NAPolicy, sim_cfg, **cluster)
     fc = run_cluster(specs, partial(FlowConPolicy, fc_cfg), sim_cfg, **cluster)
+    if args.streaming_metrics:
+        return _print_streaming_compare(args, fc_cfg, na, fc)
     report = compare_runs(na.summary, fc.summary,
                           treatment_name=fc_cfg.describe())
     where = (
@@ -287,6 +307,53 @@ def _cmd_compare(args) -> int:
             f"{fc.summary.peak_fleet()} (FlowCon); "
             f"{na.summary.fleet_changes()} scale events (NA)"
         )
+    if args.failures != "none":
+        print(
+            f"failures: {na.summary.total_retries()} crash-restarts / "
+            f"{len(na.summary.failed_jobs)} exhausted (NA), "
+            f"{fc.summary.total_retries()} / "
+            f"{len(fc.summary.failed_jobs)} (FlowCon)"
+        )
+    return 0
+
+
+def _print_streaming_compare(args, fc_cfg, na, fc) -> int:
+    """Aggregate report for ``--streaming-metrics`` compare runs.
+
+    Streaming mode deliberately never keeps per-job records, so the
+    per-job Δ table is unavailable; everything here comes from the
+    bounded-memory sketch aggregates.
+    """
+    print(render_header(
+        f"{fc_cfg.describe()} vs NA — {args.jobs} jobs, streaming "
+        f"aggregates (±{na.summary.stream.rank_error_bound():.3%} rank error)"
+    ))
+    rows = []
+    for metric, getter in [
+        ("completed jobs", lambda s: s.n_completed),
+        ("makespan (s)", lambda s: round(s.makespan, 2)),
+        ("mean queue delay (s)", lambda s: round(s.mean_queue_delay(), 2)),
+        ("p50 queue delay (s)",
+         lambda s: round(s.quantile_queue_delay(0.50), 2)),
+        ("p95 queue delay (s)",
+         lambda s: round(s.quantile_queue_delay(0.95), 2)),
+        ("p99 queue delay (s)",
+         lambda s: round(s.quantile_queue_delay(0.99), 2)),
+        ("rolling throughput (jobs/s)",
+         lambda s: round(s.slo_report()["rolling_throughput"], 3)),
+        ("peak throughput (jobs/s)",
+         lambda s: round(s.slo_report()["peak_throughput"], 3)),
+    ]:
+        rows.append([metric, getter(na.summary), getter(fc.summary)])
+    print(render_table(["metric", "NA", "FlowCon"], rows))
+    if args.tenant_weights:
+        print()
+        for tenant in sorted(_parse_tenant_weights(args.tenant_weights)):
+            print(
+                f"tenant {tenant}: p95 queue delay "
+                f"NA {na.summary.p95_queue_delay(tenant):.1f}s, "
+                f"FlowCon {fc.summary.p95_queue_delay(tenant):.1f}s"
+            )
     if args.failures != "none":
         print(
             f"failures: {na.summary.total_retries()} crash-restarts / "
@@ -382,6 +449,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="assign jobs round-robin to weighted tenants "
                             "(e.g. interactive=4 batch=1); pair with "
                             "--admission wfq for weighted fair queueing")
+    p_cmp.add_argument("--workload",
+                       choices=["random"] + sorted(STREAM_FAMILIES),
+                       default="random",
+                       help="workload source: 'random' draws an eager "
+                            "random mix; any other choice builds a lazy "
+                            "arrival stream from the generator family "
+                            "(diurnal, flash_crowd, pareto_mix, poisson)")
+    p_cmp.add_argument("--streaming-metrics", action="store_true",
+                       help="record sketch-based bounded-memory aggregates "
+                            "(p50/p95/p99, rolling throughput) instead of "
+                            "per-job records; memory stays O(1) per "
+                            "container regardless of --jobs")
     p_cmp.add_argument("--profile", action="store_true",
                        help="run under cProfile and dump the top 25 "
                             "cumulative-time functions to stderr")

@@ -98,7 +98,13 @@ from repro.simcore.events import (
     EventKind,
 )
 
-__all__ = ["FleetTicker", "fleet_reallocate", "fleet_sample", "fleet_settle"]
+__all__ = [
+    "FleetTicker",
+    "fleet_reallocate",
+    "fleet_sample",
+    "fleet_sample_streaming",
+    "fleet_settle",
+]
 
 
 def fleet_settle(workers: list[Worker]) -> None:
@@ -633,6 +639,72 @@ def fleet_sample(
     return total
 
 
+def fleet_sample_streaming(recorders: list[MetricsRecorder]) -> int:
+    """Packed sampling pass for *streaming* recorders.
+
+    A streaming ``sample_now`` keeps no series: its only state changes
+    are the bus pass bookkeeping (cache key, pass counter, amortized
+    prune) and the sampler's window advance (``_last_sample[cid] =
+    now``).  This pass replicates exactly those, under the same guards
+    as the dense fused pass — the history-floor clamp and the
+    zero-length-window skip mirror :meth:`BusSampler.sample`, whose
+    window *advance* happens precisely when the clamped window has
+    positive length (the window mean itself is a pure read and is
+    dropped, as the dense pass drops the account memo).  Pruning
+    cadence therefore stays bit-identical to the serial streaming path.
+    Returns the number of windows advanced (instrumentation).
+    """
+    if not recorders:
+        return 0
+    total = 0
+    now = recorders[0].worker.sim.now
+    for r in recorders:
+        worker = r.worker
+        bus = worker.obsbus
+        containers = worker.running_containers()
+        key = (now, worker.version)
+        if bus._cache_key != key:
+            bus._cache_key = key
+            bus._cache = []
+            bus.passes += 1
+            samplers = bus._samplers
+            if bus.prune and samplers and bus.passes % 16 == 0:
+                for container in containers:
+                    cid = container.cid
+                    created = container.created_at
+                    floor = now
+                    for s in samplers:
+                        prev = s._last_sample.get(cid, created)
+                        if prev < floor:
+                            floor = prev
+                            if floor <= created:
+                                break
+                    if floor > created:
+                        container.cgroup.prune_before(floor)
+        last = r._sampler._last_sample
+        for container in containers:
+            cid = container.cid
+            t_prev = last.get(cid)
+            if t_prev is None or t_prev < container.cgroup.history_floor:
+                t_prev = container.cgroup.history_floor
+            if now <= t_prev:
+                continue  # zero-length window: duplicate poll, skip
+            last[cid] = now
+            total += 1
+    push = recorders[0].worker.sim.queue.push
+    for r in recorders:
+        r._handle = push(
+            Event(
+                now + r.sample_interval,
+                EventKind.METRIC_SAMPLE,
+                r._on_sample,
+                PRIORITY_SAMPLE,
+                r,
+            )
+        )
+    return total
+
+
 class FleetTicker:
     """Coalesces same-instant sampling ticks into one fused fleet pass.
 
@@ -687,9 +759,14 @@ class FleetTicker:
             self.fused_batches += 1
             fleet_settle(workers)
             fleet_reallocate(workers)
-            self.fused_samples += fleet_sample(
-                recorders, self._win_cache, self._static_cache
-            )
+            dense = [r for r in recorders if not r.streaming]
+            streaming = [r for r in recorders if r.streaming]
+            if dense:
+                self.fused_samples += fleet_sample(
+                    dense, self._win_cache, self._static_cache
+                )
+            if streaming:
+                self.fused_samples += fleet_sample_streaming(streaming)
             fused = {id(r) for r in recorders}
         # Fire the remaining events in pop order.  Recorders handled by
         # the fused sampling pass are done — their sampling, tracking and

@@ -178,6 +178,14 @@ class Manager:
         ``name -> Worker`` builder for autoscale-provisioned nodes.
         ``None`` (default) clones the first initial worker's shape
         (capacity, contention, allocation mode, admission slots).
+    stream_sink:
+        Optional :class:`~repro.metrics.sketch.StreamMetrics`.  When
+        given, the manager runs in bounded memory: per-label delay and
+        tenant maps are skipped (delays fold into the sink at placement
+        time), placement records are dropped as containers exit, and
+        duplicate-label detection is waived (a million-label set is
+        exactly the memory this mode exists to avoid — streams are
+        generator-built with unique labels by construction).
     """
 
     def __init__(
@@ -191,6 +199,7 @@ class Manager:
         autoscale: AutoscalePolicy | str | None = None,
         failures: FailureInjector | str | None = None,
         worker_factory: WorkerFactory | None = None,
+        stream_sink=None,
     ) -> None:
         if not workers:
             raise ClusterError("a manager needs at least one worker")
@@ -247,6 +256,12 @@ class Manager:
         #: Names of workers that have crashed at least once (never removed;
         #: a stale placement record may still point at one of these).
         self.crashed_workers: set[str] = set()
+        self.stream_sink = stream_sink
+        self._streaming = stream_sink is not None
+        #: Iterator of not-yet-scheduled submissions during a lazy
+        #: ``submit_stream``; at most one of its arrivals is in the
+        #: event queue at a time.
+        self._stream_iter = None
         self._labels: set[str] = set()
         self._pending: int = 0
         self._in_flight: int = 0
@@ -266,6 +281,7 @@ class Manager:
         self._worker_template = self.workers[0]
         for worker in self.workers:
             worker.exit_hooks.append(self._on_worker_exit)
+            worker.reap_exited = self._streaming
         self._failures_armed = not isinstance(self.failures, NoFailures)
         if self._failures_armed:
             # Bind last: fault plans may inspect the fully wired fleet.
@@ -281,7 +297,7 @@ class Manager:
         the past) leaves the manager's state untouched and the label
         reusable.
         """
-        if submission.label in self._labels:
+        if not self._streaming and submission.label in self._labels:
             raise ClusterError(f"duplicate job label {submission.label!r}")
         self.sim.schedule(
             submission.submit_time,
@@ -290,13 +306,60 @@ class Manager:
             priority=PRIORITY_ARRIVAL,
             payload=submission,
         )
-        self._labels.add(submission.label)
+        if not self._streaming:
+            self._labels.add(submission.label)
         self._pending += 1
 
     def submit_all(self, submissions: list[JobSubmission]) -> None:
         """Queue a whole schedule."""
         for sub in submissions:
             self.submit(sub)
+
+    def submit_stream(self, submissions) -> None:
+        """Consume an iterable of submissions lazily, one arrival at a time.
+
+        Exactly one stream arrival sits in the event queue at any
+        moment: when it fires, the next submission is pulled from the
+        iterator and scheduled.  The iterable must yield non-decreasing
+        ``submit_time``\\ s (every generator family does); with
+        continuous arrival distributions the resulting run is
+        bit-identical to eagerly ``submit_all``-ing the materialized
+        list — exact cross-kind event-time ties are the measure-zero
+        exception, since a lazily scheduled arrival sequences after
+        same-instant events that an eager submit would have preceded.
+        """
+        if self._stream_iter is not None:
+            raise ClusterError("a submission stream is already being consumed")
+        self._stream_iter = iter(submissions)
+        self._advance_stream()
+
+    def _advance_stream(self) -> None:
+        """Schedule the stream's next arrival (if any)."""
+        it = self._stream_iter
+        if it is None:
+            return
+        nxt = next(it, None)
+        if nxt is None:
+            self._stream_iter = None
+            return
+        if not self._streaming and nxt.label in self._labels:
+            raise ClusterError(f"duplicate job label {nxt.label!r}")
+        self.sim.schedule(
+            nxt.submit_time,
+            self._on_stream_arrival,
+            kind=EventKind.JOB_ARRIVAL,
+            priority=PRIORITY_ARRIVAL,
+            payload=nxt,
+        )
+        if not self._streaming:
+            self._labels.add(nxt.label)
+        self._pending += 1
+
+    def _on_stream_arrival(self, event: Event) -> None:
+        # Pull the successor *before* handling this arrival, so a full
+        # cluster (queueing, autoscale passes) never stalls the stream.
+        self._advance_stream()
+        self._on_arrival(event)
 
     # -- placement and admission ---------------------------------------------------
 
@@ -322,10 +385,18 @@ class Manager:
             queue_delay=delay,
             tenant=submission.tenant,
         )
-        if delay > 0:
-            self.queue_delays[submission.label] = delay
-        if submission.tenant is not None:
-            self.tenants[submission.label] = submission.tenant
+        if self._streaming:
+            # Bounded memory: the delay folds into the shared sketch sink
+            # right now (zeros included — matching the dense per-tenant
+            # views, which backfill 0.0 for jobs that never queued).
+            self.stream_sink.observe_placement(
+                submission.label, submission.tenant, delay
+            )
+        else:
+            if delay > 0:
+                self.queue_delays[submission.label] = delay
+            if submission.tenant is not None:
+                self.tenants[submission.label] = submission.tenant
         if self._failures_armed:
             self._active_submissions[submission.label] = submission
         self._pending -= 1
@@ -446,6 +517,12 @@ class Manager:
         if self._failures_armed:
             # The job completed: no crash can orphan it anymore.
             self._active_submissions.pop(container.name, None)
+        if self._streaming:
+            # Exited jobs leave no placement record behind — with the
+            # recorder's sampler/tracker forgets, this is the manager's
+            # half of the bounded-memory guarantee.  (The retry/failure
+            # maps stay: they hold only crash-affected labels.)
+            self.placements.pop(container.name, None)
         if self._drain_queue():
             self._rebalance_pass()
         self._autoscale_pass()
@@ -577,6 +654,7 @@ class Manager:
         factory = self.worker_factory or self._default_worker_factory
         worker = factory(name)
         worker.exit_hooks.append(self._on_worker_exit)
+        worker.reap_exited = self._streaming
         self.workers.append(worker)
         self.fleet_timeline.append((self.sim.now, len(self.workers)))
         self.sim.trace(
@@ -816,6 +894,7 @@ class Manager:
         if any(w.name == worker.name for w in self.workers):
             return  # pragma: no cover - defensive (double recovery)
         worker.exit_hooks.append(self._on_worker_exit)
+        worker.reap_exited = self._streaming
         self.workers.append(worker)
         self.fleet_timeline.append((self.sim.now, len(self.workers)))
         self.sim.trace(

@@ -40,6 +40,8 @@ class ContainerPool:
         self._members: dict[int, Container] = {}
         self._arrivals: list[_JournalEntry] = []
         self._finishes: list[_JournalEntry] = []
+        self._compacted_arrivals = 0
+        self._compacted_finishes = 0
 
     # -- mutation (worker-driven) ---------------------------------------------
 
@@ -94,6 +96,27 @@ class ContainerPool:
 
     # -- journals -----------------------------------------------------------------
 
+    def compact(self, before: float) -> int:
+        """Drop journal entries at or before *before*; totals survive.
+
+        Streaming runs compact after every exit so the journals track
+        recent churn instead of the whole run (the bounded-memory
+        guarantee).  ``total_arrivals``/``total_finishes`` keep counting
+        compacted entries, but ``arrivals_since``/``finishes_since``
+        cannot reach behind the newest compaction floor — acceptable
+        because the worker-monitor listeners diff live membership via
+        :meth:`delta_since` rather than replaying the journals.
+        """
+        keep_arrivals = [e for e in self._arrivals if e.time > before]
+        keep_finishes = [e for e in self._finishes if e.time > before]
+        dropped_arrivals = len(self._arrivals) - len(keep_arrivals)
+        dropped_finishes = len(self._finishes) - len(keep_finishes)
+        self._compacted_arrivals += dropped_arrivals
+        self._compacted_finishes += dropped_finishes
+        self._arrivals = keep_arrivals
+        self._finishes = keep_finishes
+        return dropped_arrivals + dropped_finishes
+
     def arrivals_since(self, t: float) -> list[int]:
         """Cids that arrived strictly after time *t*."""
         return [e.cid for e in self._arrivals if e.time > t]
@@ -103,12 +126,12 @@ class ContainerPool:
         return [e.cid for e in self._finishes if e.time > t]
 
     def total_arrivals(self) -> int:
-        """Number of containers ever added."""
-        return len(self._arrivals)
+        """Number of containers ever added (compacted entries included)."""
+        return self._compacted_arrivals + len(self._arrivals)
 
     def total_finishes(self) -> int:
-        """Number of containers ever finished."""
-        return len(self._finishes)
+        """Number of containers ever finished (compacted entries included)."""
+        return self._compacted_finishes + len(self._finishes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -153,6 +153,11 @@ class Worker:
         self.exit_hooks: list = []
         #: Hooks invoked after a container launches: f(container).
         self.launch_hooks: list = []
+        #: Streaming-metrics mode (set by the manager): ``docker rm``
+        #: every exited container once the exit hooks have consumed it,
+        #: and compact the pool journals — resident state then tracks
+        #: the *live* set, not the whole run's history.
+        self.reap_exited = False
 
     # -- public operations -------------------------------------------------------
 
@@ -650,6 +655,15 @@ class Worker:
             # worker mid-iteration).
             for hook in tuple(self.exit_hooks):
                 hook(container)
+            if self.reap_exited:
+                # After the hooks: they get the container by reference,
+                # so nothing downstream needs the table entry.  The
+                # version bump lands inside this handler — no
+                # observation pass can run between exit and reap, so
+                # the bus cache hit/miss pattern (and with it every
+                # prune/window decision) matches a non-reaping run.
+                self.runtime.remove(cid)
+                self.pool.compact(self.sim.now)
 
     # -- views ----------------------------------------------------------------------
 

@@ -179,6 +179,14 @@ class SimulationConfig:
         packed sampling pass.  Bit-identical to the serial per-worker
         path (pinned by the golden fixtures and the invariant harness);
         ``False`` (default) keeps the serial path as the oracle.
+    streaming_metrics:
+        When ``True`` the runner records in bounded memory: recorders
+        keep no per-container step series or completion lists, the
+        manager keeps no per-label delay/tenant maps, and aggregates
+        fold into a shared :class:`~repro.metrics.sketch.StreamMetrics`
+        sink (quantile sketches + rolling throughput).  Run *dynamics*
+        are bit-identical to dense mode; only what is remembered
+        changes.  ``False`` (default) keeps the exact per-job record.
     """
 
     seed: int = 0
@@ -195,6 +203,7 @@ class SimulationConfig:
     autoscale: str = "none"
     failures: str = "none"
     fleet_mode: bool = False
+    streaming_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:

@@ -40,8 +40,9 @@ from typing import Callable, Sequence
 from repro.config import SimulationConfig
 from repro.core.policy import SchedulingPolicy
 from repro.errors import ExperimentError
+from repro.metrics.sketch import StreamMetrics
 from repro.metrics.summary import CompletionRecord, RunSummary
-from repro.workloads.generator import WorkloadSpec
+from repro.workloads.generator import WorkloadSpec, WorkloadStream
 
 __all__ = ["RunTask", "RunRecord", "run_tasks", "run_many", "default_workers"]
 
@@ -60,7 +61,10 @@ class RunTask:
     index:
         Position in the batch; records come back in index order.
     specs:
-        The workload for this run.
+        The workload for this run: a materialized spec tuple, or a lazy
+        :class:`~repro.workloads.generator.WorkloadStream` (frozen and
+        tuple-parameterized, so it pickles by value and regenerates
+        identically inside any worker process).
     policy_factory:
         Zero-argument, picklable builder of a fresh policy instance.
     sim_config:
@@ -102,7 +106,7 @@ class RunTask:
     """
 
     index: int
-    specs: tuple[WorkloadSpec, ...]
+    specs: tuple[WorkloadSpec, ...] | WorkloadStream
     policy_factory: PolicyFactory
     sim_config: SimulationConfig
     n_workers: int = 1
@@ -128,6 +132,13 @@ class RunRecord:
     ``(time, worker count)`` trajectory.  ``retries``/``failed_jobs``
     carry the failure injector's crash-restart counts and
     retry-exhausted jobs (empty under ``failures="none"``).
+
+    Streaming runs come back with ``completions=()`` and the run's
+    :class:`~repro.metrics.sketch.StreamMetrics` in ``stream`` (sketches
+    are plain numpy state, so the record stays compact and picklable);
+    :meth:`summary` then rebuilds a streaming-mode
+    :class:`RunSummary` whose aggregate views mix freely with dense
+    records in a sweep.
     """
 
     index: int
@@ -146,9 +157,13 @@ class RunRecord:
     fleet_timeline: tuple[tuple[float, int], ...] = ()
     retries: tuple[tuple[str, int], ...] = ()
     failed_jobs: tuple[tuple[str, tuple[int, float]], ...] = ()
+    stream: StreamMetrics | None = None
     makespan: float = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.stream is not None and not self.completions:
+            object.__setattr__(self, "makespan", self.stream.makespan)
+            return
         if not self.completions:
             raise ExperimentError("RunRecord needs at least one completion")
         start = min(c.submitted for c in self.completions)
@@ -167,6 +182,7 @@ class RunRecord:
             fleet_timeline=self.fleet_timeline,
             retries=dict(self.retries),
             failed_jobs=dict(self.failed_jobs),
+            stream=self.stream,
         )
 
     def completion_times(self) -> dict[str, float]:
@@ -190,8 +206,13 @@ def _execute_task(task: RunTask) -> RunRecord:
     from repro.experiments.runner import run_cluster
 
     t0 = time.perf_counter()
+    workload = (
+        task.specs
+        if isinstance(task.specs, WorkloadStream)
+        else list(task.specs)
+    )
     result = run_cluster(
-        list(task.specs),
+        workload,
         task.policy_factory,
         task.sim_config,
         n_workers=task.n_workers,
@@ -221,6 +242,7 @@ def _execute_task(task: RunTask) -> RunRecord:
         fleet_timeline=tuple(summary.fleet_timeline),
         retries=tuple(sorted(summary.retries.items())),
         failed_jobs=tuple(sorted(summary.failed_jobs.items())),
+        stream=summary.stream,
     )
 
 
@@ -342,7 +364,11 @@ def run_many(
     tasks = [
         RunTask(
             index=i,
-            specs=tuple(specs_list[i]),
+            specs=(
+                specs_list[i]
+                if isinstance(specs_list[i], WorkloadStream)
+                else tuple(specs_list[i])
+            ),
             policy_factory=factories[i],
             sim_config=(
                 cfg if seeds is None else cfg.with_params(seed=int(seeds[i]))

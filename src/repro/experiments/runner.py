@@ -35,10 +35,11 @@ from repro.config import SimulationConfig
 from repro.core.policy import SchedulingPolicy
 from repro.errors import ExperimentError, MetricsError
 from repro.metrics.recorder import ContainerTrace, MetricsRecorder
+from repro.metrics.sketch import StreamMetrics
 from repro.metrics.summary import RunSummary
 from repro.simcore.engine import Simulator
 from repro.simcore.events import EventKind
-from repro.workloads.generator import WorkloadSpec
+from repro.workloads.generator import WorkloadSpec, WorkloadStream
 from repro.workloads.models import MODEL_ZOO
 
 __all__ = [
@@ -124,7 +125,7 @@ def _per_worker_values(name, value, n, default):
 
 
 def run_cluster(
-    specs: list[WorkloadSpec],
+    specs: list[WorkloadSpec] | WorkloadStream,
     policy: SchedulingPolicy | PolicyFactory,
     sim_config: SimulationConfig | None = None,
     *,
@@ -136,6 +137,7 @@ def run_cluster(
     failures: FailureInjector | str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
+    streaming_metrics: bool | None = None,
 ) -> RunResult:
     """Run one workload on an ``n_workers`` cluster to completion.
 
@@ -143,7 +145,10 @@ def run_cluster(
     ----------
     specs:
         The workload (from :class:`~repro.workloads.generator
-        .WorkloadGenerator` or the scenario builders).
+        .WorkloadGenerator` or the scenario builders), or a lazy
+        :class:`~repro.workloads.generator.WorkloadStream` — the
+        manager then pulls one arrival at a time instead of
+        materializing the schedule (bit-identical dynamics either way).
     policy:
         Either a fresh policy *instance* (single-worker runs only;
         policies hold per-worker state) or a zero-argument factory
@@ -194,6 +199,13 @@ def run_cluster(
         Optional per-worker admission slots: a scalar for all workers or
         one value per worker; ``None`` falls back to
         ``sim_config.max_containers``.
+    streaming_metrics:
+        When ``True``, record in bounded memory: recorders keep no
+        per-container series or completion lists, the manager keeps no
+        per-label maps, and every aggregate folds into one shared
+        :class:`~repro.metrics.sketch.StreamMetrics` carried by
+        ``summary.stream``.  ``None`` falls back to
+        ``sim_config.streaming_metrics`` (default dense).
 
     Returns
     -------
@@ -205,9 +217,15 @@ def run_cluster(
         On empty workloads or if the simulation stalls before all jobs
         complete (a genuine bug signal, not a tunable).
     """
-    if not specs:
+    if not len(specs):
         raise ExperimentError("run_cluster needs at least one workload spec")
     cfg = sim_config if sim_config is not None else SimulationConfig()
+    streaming = (
+        streaming_metrics
+        if streaming_metrics is not None
+        else cfg.streaming_metrics
+    )
+    sink = StreamMetrics() if streaming else None
     if capacities is not None and n_workers == 1:
         n_workers = len(capacities)
     if n_workers < 1:
@@ -269,12 +287,18 @@ def run_cluster(
         autoscale=autoscale if autoscale is not None else cfg.autoscale,
         failures=failures if failures is not None else cfg.failures,
         worker_factory=provisioned_worker,
+        stream_sink=sink,
     )
     recorders: dict[str, MetricsRecorder] = {}
     policies: dict[str, SchedulingPolicy] = {}
 
     def instrument(worker: Worker) -> None:
-        recorder = MetricsRecorder(worker, sample_interval=cfg.sample_interval)
+        recorder = MetricsRecorder(
+            worker,
+            sample_interval=cfg.sample_interval,
+            streaming=streaming,
+            sink=sink,
+        )
         recorder.start()
         recorders[worker.name] = recorder
         pol = policy_factory()
@@ -312,26 +336,29 @@ def run_cluster(
     manager.fail_hooks.append(on_worker_fail)
     manager.recover_hooks.append(on_worker_recover)
 
-    manager.submit_all(
-        [
-            JobSubmission(
-                label=spec.label,
-                job=spec.build_job(),
-                submit_time=spec.submit_time,
-                image=MODEL_ZOO[spec.model_key].image,
-                tenant=spec.tenant,
-                weight=spec.weight,
-                priority=spec.priority,
-                retry_budget=spec.retry_budget,
-            )
-            for spec in specs
-        ]
-    )
+    def _to_submission(spec: WorkloadSpec) -> JobSubmission:
+        return JobSubmission(
+            label=spec.label,
+            job=spec.build_job(),
+            submit_time=spec.submit_time,
+            image=MODEL_ZOO[spec.model_key].image,
+            tenant=spec.tenant,
+            weight=spec.weight,
+            priority=spec.priority,
+            retry_budget=spec.retry_budget,
+        )
+
+    if isinstance(specs, WorkloadStream):
+        # Lazy: the manager holds one pending arrival at a time; the
+        # event heap never sees the whole schedule.
+        manager.submit_stream(_to_submission(spec) for spec in specs)
+    else:
+        manager.submit_all([_to_submission(spec) for spec in specs])
 
     expected = len(specs)
 
     def _resolved() -> int:
-        return sum(len(r.completions) for r in recorders.values()) + len(
+        return sum(r.n_completions for r in recorders.values()) + len(
             manager.failed
         )
 
@@ -347,7 +374,7 @@ def run_cluster(
             break
         event = sim.step()
         if event is None:
-            done = sum(len(r.completions) for r in recorders.values())
+            done = sum(r.n_completions for r in recorders.values())
             raise ExperimentError(
                 f"simulation stalled at t={sim.now:.1f}s with "
                 f"{done}/{expected} jobs complete"
@@ -367,18 +394,32 @@ def run_cluster(
     for pol in policies.values():
         pol.detach()
 
-    completions = [c for r in recorders.values() for c in r.completions]
-    if (
-        len(completions) + len(manager.failed) < expected
-        and cfg.horizon is None
-    ):
-        raise ExperimentError("run ended with incomplete jobs")
-    if not completions:
-        raise MetricsError("no jobs completed within the horizon")
-
-    return RunResult(
-        policy_name=next(iter(policies.values())).name,
-        summary=RunSummary(
+    if streaming:
+        n_done = sink.n_completed
+        if n_done + len(manager.failed) < expected and cfg.horizon is None:
+            raise ExperimentError("run ended with incomplete jobs")
+        if n_done == 0:
+            raise MetricsError("no jobs completed within the horizon")
+        summary = RunSummary(
+            completions=[],
+            peak_queue_len=manager.peak_queue_len,
+            migrations=dict(manager.migrations),
+            migration_delays=dict(manager.migration_delays),
+            fleet_timeline=tuple(manager.fleet_timeline),
+            retries=dict(manager.retries),
+            failed_jobs=dict(manager.failed),
+            stream=sink,
+        )
+    else:
+        completions = [c for r in recorders.values() for c in r.completions]
+        if (
+            len(completions) + len(manager.failed) < expected
+            and cfg.horizon is None
+        ):
+            raise ExperimentError("run ended with incomplete jobs")
+        if not completions:
+            raise MetricsError("no jobs completed within the horizon")
+        summary = RunSummary(
             completions=completions,
             queue_delays=dict(manager.queue_delays),
             peak_queue_len=manager.peak_queue_len,
@@ -388,7 +429,11 @@ def run_cluster(
             fleet_timeline=tuple(manager.fleet_timeline),
             retries=dict(manager.retries),
             failed_jobs=dict(manager.failed),
-        ),
+        )
+
+    return RunResult(
+        policy_name=next(iter(policies.values())).name,
+        summary=summary,
         sim=sim,
         manager=manager,
         workers=manager.workers,

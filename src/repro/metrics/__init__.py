@@ -12,6 +12,7 @@ The experiments need three data products, all produced here:
 
 from repro.metrics.export import series_to_csv, summary_to_json
 from repro.metrics.recorder import ContainerTrace, MetricsRecorder
+from repro.metrics.sketch import QuantileSketch, RollingThroughput, StreamMetrics
 from repro.metrics.summary import (
     CompletionRecord,
     RunSummary,
@@ -25,8 +26,11 @@ __all__ = [
     "CompletionRecord",
     "ContainerTrace",
     "MetricsRecorder",
+    "QuantileSketch",
+    "RollingThroughput",
     "RunSummary",
     "StepSeries",
+    "StreamMetrics",
     "jitter_index",
     "overlap_duration",
     "reduction_pct",

@@ -11,6 +11,18 @@ FlowCon and NA").
 The recorder's sampling deliberately calls :meth:`Worker.poke`, which also
 re-samples contention jitter; the sampling grid therefore doubles as the
 OS-noise granularity (see DESIGN.md §2).
+
+Streaming mode
+--------------
+``MetricsRecorder(..., streaming=True)`` trades per-container series for
+O(1) memory per container: sampling still pokes the worker and advances
+the bus pass (so run *dynamics* — settle points, jitter draws, pruning
+cadence — are bit-identical to dense mode), but no step series or growth
+histories are kept, and completions fold into a shared
+:class:`~repro.metrics.sketch.StreamMetrics` sink instead of a list.
+Exited containers are forgotten from the sampler windows, so a
+million-job run holds recorder state only for *live* containers.  The
+default dense mode is untouched.
 """
 
 from __future__ import annotations
@@ -53,6 +65,15 @@ class MetricsRecorder:
         Sampling cadence in seconds.
     resource:
         Resource dimension for the recorded growth efficiency.
+    streaming:
+        When ``True``, keep no per-container series or completion list —
+        O(1) memory per container; completions fold into *sink* (when
+        given) and exited containers are forgotten.  Dense-mode
+        dynamics are preserved exactly (same poke/observe cadence).
+    sink:
+        Optional :class:`~repro.metrics.sketch.StreamMetrics` shared by
+        every recorder of a streaming run; receives one
+        ``observe_completion`` per exit.
     """
 
     def __init__(
@@ -60,13 +81,19 @@ class MetricsRecorder:
         worker: Worker,
         sample_interval: float = 5.0,
         resource: ResourceType = ResourceType.CPU,
+        *,
+        streaming: bool = False,
+        sink=None,
     ) -> None:
         if sample_interval <= 0:
             raise MetricsError("sample_interval must be positive")
         self.worker = worker
         self.sample_interval = float(sample_interval)
+        self.streaming = bool(streaming)
+        self.sink = sink
         self.traces: dict[int, ContainerTrace] = {}
         self.completions: list[CompletionRecord] = []
+        self._n_completed = 0
         self._tracker = GrowthTracker(resource)
         self._sampler = worker.obsbus.sampler()
         self._labels: dict[str, int] = {}
@@ -126,8 +153,18 @@ class MetricsRecorder:
         instant and shared with every other observer (FlowCon's monitor,
         the progress signal); only this recorder's sampling windows and
         step series are private.
+
+        Streaming mode runs the *same* poke + shared-pass + window
+        advance (identical dynamics, identical pruning cadence) but
+        appends nothing: the sampled stats are discarded after moving
+        this recorder's windows forward.
         """
         self.worker.poke()
+        if self.streaming:
+            sample = self._sampler.sample
+            for obs in self.worker.obsbus.observe():
+                sample(obs)
+            return
         observe = self._tracker.observe
         sample = self._sampler.sample
         for obs in self.worker.obsbus.observe():
@@ -151,9 +188,24 @@ class MetricsRecorder:
     # -- hooks ------------------------------------------------------------------------
 
     def _on_launch(self, container: Container) -> None:
+        if self.streaming:
+            return
         self._trace_for(container)
 
     def _on_exit(self, container: Container) -> None:
+        self._n_completed += 1
+        if self.streaming:
+            if self.sink is not None:
+                self.sink.observe_completion(
+                    submitted=container.created_at,
+                    finished=container.finished_at,
+                    completion_time=container.completion_time(),
+                )
+            # Exited containers leave no recorder state behind — the
+            # bounded-memory guarantee is exactly this pair of forgets.
+            self._sampler.forget(container.cid)
+            self._tracker.forget(container.cid)
+            return
         trace = self.traces.get(container.cid)
         if trace is not None:
             trace.cpu_usage.append(self.worker.sim.now, 0.0)
@@ -182,6 +234,11 @@ class MetricsRecorder:
 
     # -- results -----------------------------------------------------------------------
 
+    @property
+    def n_completions(self) -> int:
+        """Completions observed by this recorder (both modes)."""
+        return self._n_completed
+
     def trace_by_label(self, label: str) -> ContainerTrace:
         """Trace for a job label (container name), via the label index."""
         cid = self._labels.get(label)
@@ -190,7 +247,12 @@ class MetricsRecorder:
         return self.traces[cid]
 
     def summary(self) -> RunSummary:
-        """Completion-time summary for the whole run."""
+        """Completion-time summary for the whole run (dense mode only)."""
+        if self.streaming:
+            raise MetricsError(
+                "per-worker summaries are dense-mode only; streaming runs "
+                "aggregate into the shared StreamMetrics sink"
+            )
         if not self.completions:
             raise MetricsError("no completions recorded yet")
         return RunSummary(completions=list(self.completions))

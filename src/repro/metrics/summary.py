@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import MetricsError
+from repro.metrics.sketch import StreamMetrics
 from repro.metrics.timeseries import StepSeries
 
 __all__ = [
@@ -66,6 +67,15 @@ class RunSummary:
     appears in the completions *or* in ``failed_jobs``, never both —
     accounting stays exactly-once even though execution under crashes is
     at-least-once.  Both are empty under ``failures="none"``.
+
+    Streaming runs carry a :class:`~repro.metrics.sketch.StreamMetrics`
+    in ``stream`` instead of per-job records: the aggregate views shared
+    by both modes — ``makespan``, ``n_completed``, queue-delay totals,
+    means and percentiles, ``failed_jobs`` — answer identically (within
+    the sketch's certified rank-error bound for percentiles), so sweeps
+    can mix modes; the per-job views (``completion_times``, ``overlap``,
+    ``tenant_queue_delays``, …) raise :class:`MetricsError` because the
+    records were deliberately never kept.
     """
 
     completions: list[CompletionRecord]
@@ -77,22 +87,47 @@ class RunSummary:
     fleet_timeline: tuple = ()
     retries: dict[str, int] = field(default_factory=dict)
     failed_jobs: dict[str, tuple[int, float]] = field(default_factory=dict)
+    stream: StreamMetrics | None = None
 
     def __post_init__(self) -> None:
-        if not self.completions:
+        if not self.completions and self.stream is None:
             raise MetricsError("RunSummary needs at least one completion")
+
+    # -- mode seam ----------------------------------------------------------------
+
+    @property
+    def streaming(self) -> bool:
+        """Whether this summary aggregates through a streaming sink."""
+        return self.stream is not None and not self.completions
+
+    def _dense_only(self, what: str) -> None:
+        if self.streaming:
+            raise MetricsError(
+                f"{what} needs per-job records, which streaming mode "
+                "deliberately never keeps; use the aggregate views"
+            )
+
+    @property
+    def n_completed(self) -> int:
+        """Jobs that finished (both modes)."""
+        if self.streaming:
+            return self.stream.n_completed
+        return len(self.completions)
 
     # -- §5.2 metrics -------------------------------------------------------------
 
     @property
     def makespan(self) -> float:
         """First submission to last completion."""
+        if self.streaming:
+            return self.stream.makespan
         start = min(c.submitted for c in self.completions)
         end = max(c.finished for c in self.completions)
         return end - start
 
     def completion_time(self, label: str) -> float:
         """Completion time of one job by label."""
+        self._dense_only("completion_time")
         for c in self.completions:
             if c.label == label:
                 return c.completion_time
@@ -100,6 +135,7 @@ class RunSummary:
 
     def completion_times(self) -> dict[str, float]:
         """label → completion time, in label order."""
+        self._dense_only("completion_times")
         return {
             c.label: c.completion_time
             for c in sorted(self.completions, key=lambda c: c.label)
@@ -107,6 +143,7 @@ class RunSummary:
 
     def labels(self) -> list[str]:
         """Job labels in submission order."""
+        self._dense_only("labels")
         return [c.label for c in sorted(self.completions, key=lambda c: c.submitted)]
 
     # -- admission queue ----------------------------------------------------------
@@ -117,10 +154,14 @@ class RunSummary:
 
     def total_queue_delay(self) -> float:
         """Sum of all jobs' admission-queue delays."""
+        if self.streaming:
+            return self.stream.total_queue_delay
         return float(sum(self.queue_delays.values()))
 
     def max_queue_delay(self) -> float:
         """Largest single admission-queue delay."""
+        if self.streaming:
+            return self.stream.max_queue_delay
         return max(self.queue_delays.values(), default=0.0)
 
     # -- multi-tenant fairness ------------------------------------------------------
@@ -139,6 +180,7 @@ class RunSummary:
         Jobs that never queued contribute 0.0 — the fairness metrics
         must see the whole tenant, not only its unlucky jobs.
         """
+        self._dense_only("tenant_queue_delays")
         if tenant is None:
             labels = [c.label for c in self.completions]
         else:
@@ -147,15 +189,41 @@ class RunSummary:
                 raise MetricsError(f"no jobs recorded for tenant {tenant!r}")
         return [self.queue_delays.get(label, 0.0) for label in labels]
 
+    def quantile_queue_delay(
+        self, q: float, tenant: str | None = None
+    ) -> float:
+        """Queue-delay quantile, overall or for one tenant (both modes).
+
+        Dense mode is exact (``numpy.percentile`` over per-job delays,
+        zeros included); streaming mode answers from the sketch, within
+        ``stream.rank_error_bound()`` of the exact rank.
+        """
+        if self.streaming:
+            return self.stream.quantile_queue_delay(q, tenant)
+        delays = self.tenant_queue_delays(tenant)
+        return float(
+            np.percentile(np.asarray(delays, dtype=np.float64), 100.0 * q)
+        )
+
     def p95_queue_delay(self, tenant: str | None = None) -> float:
         """95th-percentile queue delay, overall or for one tenant."""
-        delays = self.tenant_queue_delays(tenant)
-        return float(np.percentile(np.asarray(delays, dtype=np.float64), 95))
+        return self.quantile_queue_delay(0.95, tenant)
 
     def mean_queue_delay(self, tenant: str | None = None) -> float:
         """Mean queue delay, overall or for one tenant."""
+        if self.streaming:
+            return self.stream.mean_queue_delay(tenant)
         delays = self.tenant_queue_delays(tenant)
         return float(np.mean(np.asarray(delays, dtype=np.float64)))
+
+    def slo_report(self) -> dict[str, float]:
+        """Live SLO aggregates — streaming runs only."""
+        if self.stream is None:
+            raise MetricsError(
+                "slo_report needs a streaming sink; dense runs expose "
+                "exact per-job views instead"
+            )
+        return self.stream.slo_report()
 
     # -- failures --------------------------------------------------------------------
 
@@ -215,6 +283,7 @@ class RunSummary:
 
     def interval_of(self, label: str) -> tuple[float, float]:
         """``(submitted, finished)`` for one job."""
+        self._dense_only("interval_of")
         for c in self.completions:
             if c.label == label:
                 return (c.submitted, c.finished)
@@ -231,6 +300,7 @@ class RunSummary:
 
     def total_concurrency_seconds(self) -> float:
         """∫ (active jobs − 1)⁺ dt — aggregate overlap pressure."""
+        self._dense_only("total_concurrency_seconds")
         edges = sorted(
             {c.submitted for c in self.completions}
             | {c.finished for c in self.completions}

@@ -5,11 +5,31 @@ where the administrator pins launch times, *random* schedules where jobs
 arrive uniformly in a window (0–200 s in §5.4/§5.5), and *scalability*
 runs with 10 and 15 jobs.  :class:`WorkloadGenerator` builds all of them as
 lists of :class:`WorkloadSpec`, reproducibly from a seeded stream.
+
+Beyond the paper's materialized lists, :func:`make_stream` builds
+**lazy** trace-shaped workloads as :class:`WorkloadStream`\\ s — a
+family name plus parameters plus a seed, yielding specs one at a time so
+a million-job day never exists as a list.  Four families:
+
+* ``"poisson"`` — constant-rate open arrivals (the lazy sibling of
+  :meth:`WorkloadGenerator.poisson_mix`, with a per-arrival draw order);
+* ``"diurnal"`` — sinusoidal day/night rate via Poisson thinning;
+* ``"flash_crowd"`` — baseline Poisson plus seeded burst epochs during
+  which the rate multiplies;
+* ``"pareto_mix"`` — constant-rate arrivals with heavy-tailed
+  (bounded Pareto) job sizes.
+
+Every family draws *per arrival* from one seeded generator, so iterating
+a stream twice — or materializing it with
+:meth:`WorkloadStream.materialize` — is bit-identical by construction,
+and every family composes with a weighted tenant mix (one extra draw per
+job when ``tenants`` is given).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -17,7 +37,13 @@ from repro.errors import WorkloadError
 from repro.workloads.job import TrainingJob
 from repro.workloads.models import MODEL_ZOO, make_job
 
-__all__ = ["WorkloadSpec", "WorkloadGenerator"]
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "WorkloadStream",
+    "make_stream",
+    "STREAM_FAMILIES",
+]
 
 
 @dataclass(frozen=True)
@@ -195,3 +221,323 @@ class WorkloadGenerator:
             WorkloadSpec(key, float(t), f"Job-{i}")
             for i, (key, t) in enumerate(zip(keys, times), start=1)
         ]
+
+
+# -- lazy streaming families -------------------------------------------------------
+
+
+def _checked_pool(pool: list[str] | tuple[str, ...] | None) -> tuple[str, ...]:
+    if pool is None:
+        from repro.workloads.models import PAPER_POOL
+
+        return tuple(PAPER_POOL)
+    pool = tuple(pool)
+    if not pool:
+        raise WorkloadError("model pool must not be empty")
+    for key in pool:
+        if key not in MODEL_ZOO:
+            raise WorkloadError(f"unknown model key {key!r}")
+    return pool
+
+
+def _checked_tenants(tenants) -> tuple[tuple[str, float, float], ...] | None:
+    """Validate a tenant mix: ``(name, share, weight)`` triples."""
+    if tenants is None:
+        return None
+    out = []
+    for entry in tenants:
+        name, share, weight = entry
+        if share <= 0:
+            raise WorkloadError(f"tenant share must be positive, got {share!r}")
+        if weight <= 0:
+            raise WorkloadError(
+                f"tenant weight must be positive, got {weight!r}"
+            )
+        out.append((str(name), float(share), float(weight)))
+    if not out:
+        raise WorkloadError("tenant mix must not be empty")
+    return tuple(out)
+
+
+def _spec(
+    rng: np.random.Generator,
+    index: int,
+    key: str,
+    t: float,
+    work_scale: float,
+    tenants: tuple[tuple[str, float, float], ...] | None,
+) -> WorkloadSpec:
+    """Per-arrival tail shared by every family: tenant draw + spec build."""
+    tenant = None
+    weight = 1.0
+    if tenants is not None:
+        total = sum(share for _, share, _ in tenants)
+        u = rng.random() * total
+        for name, share, w in tenants:
+            u -= share
+            if u < 0.0:
+                tenant, weight = name, w
+                break
+        else:  # pragma: no cover - float edge
+            tenant, weight = tenants[-1][0], tenants[-1][2]
+    return WorkloadSpec(
+        key,
+        float(t),
+        f"Job-{index}",
+        work_scale=float(work_scale),
+        tenant=tenant,
+        weight=weight,
+    )
+
+
+def _positive(name: str, value: float) -> float:
+    if value <= 0:
+        raise WorkloadError(f"{name} must be positive, got {value!r}")
+    return float(value)
+
+
+def _poisson_stream(
+    rng: np.random.Generator,
+    n_jobs: int,
+    *,
+    mean_gap: float = 3.0,
+    start: float = 0.0,
+    work_scale: float = 1.0,
+    pool=None,
+    tenants=None,
+) -> Iterator[WorkloadSpec]:
+    """Constant-rate open arrivals, one draw pair (gap, key) per job."""
+    mean_gap = _positive("mean_gap", mean_gap)
+    _positive("work_scale", work_scale)
+    if start < 0:
+        raise WorkloadError(f"negative start time {start!r}")
+    pool = _checked_pool(pool)
+    tenants = _checked_tenants(tenants)
+
+    def gen():
+        t = start
+        for i in range(1, n_jobs + 1):
+            t += rng.exponential(mean_gap)
+            key = pool[int(rng.integers(0, len(pool)))]
+            yield _spec(rng, i, key, t, work_scale, tenants)
+
+    return gen()
+
+
+def _diurnal_stream(
+    rng: np.random.Generator,
+    n_jobs: int,
+    *,
+    period: float = 86400.0,
+    mean_gap: float = 3.0,
+    peak_to_trough: float = 4.0,
+    start: float = 0.0,
+    work_scale: float = 1.0,
+    pool=None,
+    tenants=None,
+) -> Iterator[WorkloadSpec]:
+    """Sinusoidal day/night rate via Poisson thinning.
+
+    The instantaneous rate is ``λ(t) = λ_mean · (1 + a·sin(2πt/T))``
+    with ``a = (ρ−1)/(ρ+1)`` for peak-to-trough ratio ρ, so the mean
+    rate stays ``1/mean_gap`` regardless of ρ.  Candidates arrive at
+    the peak rate and are accepted with probability ``λ(t)/λ_max``
+    (exact nonhomogeneous-Poisson sampling, one rejection draw per
+    candidate).
+    """
+    period = _positive("period", period)
+    mean_gap = _positive("mean_gap", mean_gap)
+    _positive("work_scale", work_scale)
+    if peak_to_trough < 1.0:
+        raise WorkloadError(
+            f"peak_to_trough must be >= 1, got {peak_to_trough!r}"
+        )
+    if start < 0:
+        raise WorkloadError(f"negative start time {start!r}")
+    pool = _checked_pool(pool)
+    tenants = _checked_tenants(tenants)
+    lam_mean = 1.0 / mean_gap
+    amp = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    lam_max = lam_mean * (1.0 + amp)
+    two_pi = 2.0 * np.pi
+
+    def gen():
+        t = start
+        for i in range(1, n_jobs + 1):
+            while True:
+                t += rng.exponential(1.0 / lam_max)
+                lam_t = lam_mean * (1.0 + amp * np.sin(two_pi * t / period))
+                if rng.random() * lam_max <= lam_t:
+                    break
+            key = pool[int(rng.integers(0, len(pool)))]
+            yield _spec(rng, i, key, t, work_scale, tenants)
+
+    return gen()
+
+
+def _flash_crowd_stream(
+    rng: np.random.Generator,
+    n_jobs: int,
+    *,
+    mean_gap: float = 3.0,
+    burst_every: float = 600.0,
+    burst_duration: float = 60.0,
+    burst_factor: float = 8.0,
+    start: float = 0.0,
+    work_scale: float = 1.0,
+    pool=None,
+    tenants=None,
+) -> Iterator[WorkloadSpec]:
+    """Baseline Poisson plus seeded burst epochs.
+
+    Burst start offsets are themselves seeded draws (Exp(burst_every)
+    after the previous burst ends), generated lazily as simulated time
+    reaches them; during a burst the rate multiplies by
+    ``burst_factor``.  Sampling is thinning at the burst rate, so the
+    baseline/burst boundary is exact.
+    """
+    mean_gap = _positive("mean_gap", mean_gap)
+    burst_every = _positive("burst_every", burst_every)
+    burst_duration = _positive("burst_duration", burst_duration)
+    _positive("work_scale", work_scale)
+    if burst_factor < 1.0:
+        raise WorkloadError(
+            f"burst_factor must be >= 1, got {burst_factor!r}"
+        )
+    if start < 0:
+        raise WorkloadError(f"negative start time {start!r}")
+    pool = _checked_pool(pool)
+    tenants = _checked_tenants(tenants)
+    lam_base = 1.0 / mean_gap
+    lam_max = lam_base * burst_factor
+
+    def gen():
+        t = start
+        burst_start = start + rng.exponential(burst_every)
+        burst_end = burst_start + burst_duration
+        for i in range(1, n_jobs + 1):
+            while True:
+                t += rng.exponential(1.0 / lam_max)
+                while t > burst_end:
+                    burst_start = burst_end + rng.exponential(burst_every)
+                    burst_end = burst_start + burst_duration
+                lam_t = lam_max if t >= burst_start else lam_base
+                if rng.random() * lam_max <= lam_t:
+                    break
+            key = pool[int(rng.integers(0, len(pool)))]
+            yield _spec(rng, i, key, t, work_scale, tenants)
+
+    return gen()
+
+
+def _pareto_mix_stream(
+    rng: np.random.Generator,
+    n_jobs: int,
+    *,
+    mean_gap: float = 3.0,
+    shape: float = 1.5,
+    scale_floor: float = 0.25,
+    size_cap: float = 20.0,
+    start: float = 0.0,
+    pool=None,
+    tenants=None,
+) -> Iterator[WorkloadSpec]:
+    """Constant-rate arrivals with heavy-tailed job sizes.
+
+    ``work_scale`` is bounded Pareto: ``min(cap, floor·(1 + Lomax(α)))``
+    — most jobs stay near ``scale_floor``, a heavy tail runs ``cap/floor``
+    times longer.  α ≤ 1 (infinite mean) is allowed; the cap bounds it.
+    """
+    mean_gap = _positive("mean_gap", mean_gap)
+    shape = _positive("shape", shape)
+    scale_floor = _positive("scale_floor", scale_floor)
+    if size_cap < scale_floor:
+        raise WorkloadError(
+            f"size_cap {size_cap!r} must be >= scale_floor {scale_floor!r}"
+        )
+    if start < 0:
+        raise WorkloadError(f"negative start time {start!r}")
+    pool = _checked_pool(pool)
+    tenants = _checked_tenants(tenants)
+
+    def gen():
+        t = start
+        for i in range(1, n_jobs + 1):
+            t += rng.exponential(mean_gap)
+            key = pool[int(rng.integers(0, len(pool)))]
+            scale = min(size_cap, scale_floor * (1.0 + rng.pareto(shape)))
+            yield _spec(rng, i, key, t, scale, tenants)
+
+    return gen()
+
+
+#: family name → stream builder ``(rng, n_jobs, **params) -> iterator``.
+STREAM_FAMILIES = {
+    "poisson": _poisson_stream,
+    "diurnal": _diurnal_stream,
+    "flash_crowd": _flash_crowd_stream,
+    "pareto_mix": _pareto_mix_stream,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadStream:
+    """A lazy, re-iterable, seeded workload.
+
+    Holds a family name, a job count, a seed and frozen parameters —
+    never the jobs themselves.  Each :meth:`__iter__` builds a fresh
+    ``numpy`` generator from the seed and yields specs one at a time,
+    so two iterations (or an iteration and a
+    :meth:`materialize`) are bit-identical, and the manager can pull
+    the next arrival on demand instead of holding a million-entry list.
+    Frozen and tuple-parameterized, so streams pickle cleanly into
+    batch :class:`~repro.experiments.batch.RunTask`\\ s.
+    """
+
+    family: str
+    n_jobs: int
+    seed: int
+    params: tuple[tuple[str, object], ...] = field(default=())
+
+    def __iter__(self) -> Iterator[WorkloadSpec]:
+        builder = STREAM_FAMILIES[self.family]
+        return builder(
+            np.random.default_rng(self.seed), self.n_jobs, **dict(self.params)
+        )
+
+    def __len__(self) -> int:
+        return self.n_jobs
+
+    def materialize(self) -> list[WorkloadSpec]:
+        """The eager form: exactly ``list(self)``."""
+        return list(self)
+
+    def describe(self) -> str:
+        """Short label for reports, e.g. ``"diurnal-100000@7"``."""
+        return f"{self.family}-{self.n_jobs}@{self.seed}"
+
+
+def make_stream(
+    family: str, *, n_jobs: int, seed: int = 0, **params
+) -> WorkloadStream:
+    """Build a validated lazy workload stream.
+
+    Parameters are validated eagerly (a bad ``mean_gap`` raises here,
+    not a million events into a run) by constructing one iterator and
+    discarding it — families validate before their first yield.
+    """
+    if family not in STREAM_FAMILIES:
+        raise WorkloadError(
+            f"unknown stream family {family!r}; "
+            f"choose from {sorted(STREAM_FAMILIES)}"
+        )
+    if n_jobs <= 0:
+        raise WorkloadError(f"n_jobs must be positive, got {n_jobs!r}")
+    stream = WorkloadStream(
+        family=family,
+        n_jobs=int(n_jobs),
+        seed=int(seed),
+        params=tuple(sorted(params.items())),
+    )
+    iter(stream)  # eager parameter validation
+    return stream

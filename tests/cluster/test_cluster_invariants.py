@@ -46,7 +46,10 @@ from repro.cluster.rebalance import (
 from repro.cluster.submission import JobSubmission
 from repro.cluster.worker import Worker
 from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.sketch import StreamMetrics
 from repro.simcore.engine import Simulator
+from repro.workloads.generator import STREAM_FAMILIES, make_stream
+from repro.workloads.models import MODEL_ZOO
 from tests.conftest import make_linear_job
 
 _CAPACITY_POOL = [0.25, 0.5, 1.0]
@@ -463,6 +466,383 @@ class TestFleetModeParity:
         first = _run_checked(seed, "spread", "none", fleet_mode=True)
         second = _run_checked(seed, "spread", "none", fleet_mode=True)
         assert first == second
+
+
+_STREAM_TENANTS = (("alpha", 2.0, 1.0), ("beta", 1.0, 2.0), ("gamma", 1.0, 1.0))
+
+
+def _stream_submissions(family: str, n_jobs: int, seed: int):
+    """A lazy generator-family workload as a JobSubmission iterator."""
+    params = {"mean_gap": 2.0, "tenants": _STREAM_TENANTS}
+    if family == "pareto_mix":
+        params["size_cap"] = 2.0
+    else:
+        params["work_scale"] = 0.25
+    stream = make_stream(family, n_jobs=n_jobs, seed=seed, **params)
+    return (
+        JobSubmission(
+            label=spec.label,
+            job=spec.build_job(),
+            submit_time=spec.submit_time,
+            image=MODEL_ZOO[spec.model_key].image,
+            tenant=spec.tenant,
+            weight=spec.weight,
+            priority=spec.priority,
+            retry_budget=spec.retry_budget,
+        )
+        for spec in stream
+    )
+
+
+def _tracked_state(manager, recorders) -> int:
+    """Retained bookkeeping that must stay O(live), never O(completed).
+
+    Everything here is state a *dense* run grows per job and a streaming
+    run must forget: placement records (popped on exit), the runtime's
+    container table (reaped on exit), the pool's arrival/finish journals
+    (compacted on exit), recorder traces (never created) and the
+    sampler/tracker windows (forgotten on exit).  The admission queue is
+    deliberately excluded — a backlog is *live* work, not bookkeeping.
+    """
+    state = len(manager.placements)
+    for worker in manager.workers:
+        state += len(worker.runtime._containers)
+        state += len(worker.pool._arrivals) + len(worker.pool._finishes)
+    for recorder in recorders:
+        state += len(recorder.traces)
+        state += len(recorder._sampler._last_sample)
+        state += len(recorder._tracker._histories)
+    return state
+
+
+def _run_streaming_checked(
+    seed: int,
+    placement: str,
+    rebalance,
+    admission="wfq",
+    autoscale=None,
+    failures=None,
+    fleet_mode=False,
+    family="diurnal",
+    n_jobs=24,
+    shape=None,
+) -> tuple[dict[str, str], int]:
+    """Streaming twin of ``_run_checked``: lazy stream in, sketches out.
+
+    Feeds a generator-family stream through ``submit_stream`` with a
+    shared :class:`StreamMetrics` sink and streaming recorders on every
+    worker (provisioned ones included), asserts the same conservation
+    invariants as the dense harness plus the streaming-specific ones
+    (nothing retained for completed jobs), and returns a digest of every
+    sketch-backed aggregate together with the *peak* tracked-state count
+    observed after any event — the bounded-memory witness.
+    """
+    if shape is None:
+        capacities, slots, _ = _random_shape(seed)
+    else:
+        capacities, slots = shape
+    sim = Simulator(seed=seed, trace=False)
+    workers = [
+        Worker(
+            sim,
+            name=f"w{i}",
+            capacity=cap,
+            contention=ContentionModel.ideal(),
+            max_containers=n,
+        )
+        for i, (cap, n) in enumerate(zip(capacities, slots))
+    ]
+
+    def factory(name):
+        return Worker(
+            sim,
+            name=name,
+            capacity=1.0,
+            contention=ContentionModel.ideal(),
+            max_containers=2,
+        )
+
+    sink = StreamMetrics()
+    manager = Manager(
+        sim,
+        workers,
+        placement=placement,
+        rebalance=rebalance,
+        admission=admission,
+        autoscale=autoscale,
+        failures=failures,
+        worker_factory=factory,
+        stream_sink=sink,
+    )
+    finished: list[tuple[str, float]] = []
+
+    def record(c):
+        finished.append((c.name, c.finished_at))
+
+    for worker in workers:
+        worker.exit_hooks.append(record)
+    manager.provision_hooks.append(lambda w: w.exit_hooks.append(record))
+    if fleet_mode:
+        FleetTicker(sim).arm()
+    recorders: list[MetricsRecorder] = []
+
+    def instrument(w):
+        recorder = MetricsRecorder(
+            w, sample_interval=5.0, streaming=True, sink=sink
+        )
+        recorder.start()
+        recorders.append(recorder)
+
+    for worker in workers:
+        instrument(worker)
+    manager.provision_hooks.append(instrument)
+    manager.submit_stream(_stream_submissions(family, n_jobs, seed))
+
+    def check_slots(event):
+        for worker in manager.workers:
+            occupied = len(worker.running_containers()) + worker.reserved
+            assert worker.max_containers is None or (
+                occupied <= worker.max_containers
+            ), f"{worker.name} over capacity after {event!r}"
+
+    def live_slots():
+        return sum(w.max_containers or 16 for w in manager.workers)
+
+    peak = _tracked_state(manager, recorders)
+    peak_slots = live_slots()
+    while sink.n_completed + len(manager.failed) < n_jobs:
+        event = sim.step()
+        if event is None:
+            break
+        check_slots(event)
+        peak = max(peak, _tracked_state(manager, recorders))
+        peak_slots = max(peak_slots, live_slots())
+    for recorder in recorders:
+        recorder.stop()
+    while True:
+        event = sim.step()
+        if event is None:
+            break
+        check_slots(event)
+        peak = max(peak, _tracked_state(manager, recorders))
+        peak_slots = max(peak_slots, live_slots())
+
+    # Exactly-once completion, streamed: every generated label lands in
+    # the exit hooks once — or in manager.failed, never both.
+    names = [name for name, _ in finished]
+    assert len(names) == len(set(names))
+    expected = {f"Job-{i}" for i in range(1, n_jobs + 1)}
+    assert set(names) == expected - set(manager.failed)
+    assert not set(manager.failed) & set(names)
+    assert sink.n_completed == len(names)
+    assert sink.n_placed >= sink.n_completed
+    # Queue drained, nothing in flight — same as the dense harness.
+    assert manager.queue_len == 0
+    assert manager.pending == 0
+    assert manager.in_flight == 0
+    assert manager.provisions_pending == 0
+    assert all(w.reserved == 0 for w in manager.workers)
+    assert all(not w.running_containers() for w in manager.workers)
+    # Streaming forgets: no placement record for any completed job, no
+    # container left in any runtime table, no per-container traces.
+    assert not set(manager.placements) & set(names)
+    assert all(not w.runtime._containers for w in manager.workers)
+    assert all(not r.traces for r in recorders)
+    if failures is None and autoscale is None and rebalance == "none":
+        # Without crash/migration/retire churn every container exits on
+        # the worker that launched it, so the sampler/tracker forgets
+        # must have drained completely.  (A migrated-away container
+        # leaves one stale window float on its *source* sampler — O(1)
+        # per migration, same as dense mode — so churny runs rely on
+        # the peak witness instead.)
+        assert all(not r._sampler._last_sample for r in recorders)
+        assert all(not r._tracker._histories for r in recorders)
+    times = [t for t, _ in manager.fleet_timeline]
+    assert times == sorted(times)
+    assert manager.fleet_timeline[-1][1] == len(manager.workers)
+
+    result = {name: repr(t) for name, t in finished}
+    result["n_completed"] = repr(sink.n_completed)
+    result["n_placed"] = repr(sink.n_placed)
+    result["total_queue_delay"] = repr(sink.total_queue_delay)
+    result["max_queue_delay"] = repr(sink.max_queue_delay)
+    result["queue_sketch"] = repr(sink.queue_sketch.state())
+    result["completion_sketch"] = repr(sink.completion_sketch.state())
+    result["peak_throughput"] = repr(sink.throughput.peak)
+    if sink.n_completed:
+        result["makespan"] = repr(sink.makespan)
+    for tenant in sorted(sink.tenant_queues):
+        count, total, sketch = sink.tenant_queues[tenant]
+        result[f"tenant:{tenant}"] = repr((count, total, sketch.state()))
+    for label, (used, lost) in manager.failed.items():
+        result[f"failed:{label}"] = repr((used, lost))
+    for label, used in manager.retries.items():
+        result[f"retries:{label}"] = repr(used)
+    return result, {"peak": peak, "peak_slots": peak_slots}
+
+
+class TestStreamingMatrixInvariants:
+    """Streaming generators × streaming metrics, fuzzed (satellite c).
+
+    Every test drives a lazy ``make_stream`` workload through
+    ``submit_stream`` with sketch-backed metrics and sweeps the same
+    five policy axes as the dense harness — asserting conservation,
+    bit-identical repeats (sketch states included) and that completed
+    jobs leave no bookkeeping behind.
+    """
+
+    @pytest.mark.parametrize("family", sorted(STREAM_FAMILIES))
+    @pytest.mark.parametrize("placement", sorted(PLACEMENTS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_family_placement_matrix(self, family, placement, seed):
+        first, _ = _run_streaming_checked(
+            seed, placement, "none", family=family
+        )
+        second, _ = _run_streaming_checked(
+            seed, placement, "none", family=family
+        )
+        assert first == second
+
+    @pytest.mark.parametrize("admission", sorted(ADMISSIONS))
+    @pytest.mark.parametrize("rebalance", ["none", "progress"])
+    @pytest.mark.parametrize("seed", [2])
+    def test_admission_rebalance_axes(self, admission, rebalance, seed):
+        first, _ = _run_streaming_checked(
+            seed, "spread", rebalance,
+            admission=admission, family="flash_crowd",
+        )
+        second, _ = _run_streaming_checked(
+            seed, "spread", rebalance,
+            admission=admission, family="flash_crowd",
+        )
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "failures", ["random", "random:checkpoint", "rolling"]
+    )
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_chaos_axis(self, failures, seed):
+        """Crash/recover churn against a lazy stream: jobs that exhaust
+        their retry budget land in ``failed``; everything else still
+        completes exactly once and the sketches stay deterministic."""
+        first, _ = _run_streaming_checked(
+            seed, "spread", "none", failures=failures, family="pareto_mix"
+        )
+        second, _ = _run_streaming_checked(
+            seed, "spread", "none", failures=failures, family="pareto_mix"
+        )
+        assert first == second
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_autoscale_axis(self, seed):
+        """Workers born mid-stream get streaming recorders (and exited-
+        container reaping) through the provision hooks."""
+        def run():
+            return _run_streaming_checked(
+                seed, "spread", "none",
+                autoscale=QueueDepthAutoscale(
+                    up_threshold=2, provision_delay=5.0, cooldown=0.0
+                ),
+                family="poisson",
+            )
+
+        assert run()[0] == run()[0]
+
+    @pytest.mark.parametrize("seed", [2, 4])
+    def test_fleet_mode_parity(self, seed):
+        """The fused tick engine must not perturb a streaming run: the
+        sketch states and every exit time match the serial path."""
+        serial, _ = _run_streaming_checked(
+            seed, "spread", "none", fleet_mode=False
+        )
+        fused, _ = _run_streaming_checked(
+            seed, "spread", "none", fleet_mode=True
+        )
+        assert serial == fused
+
+    @pytest.mark.parametrize("seed", [3])
+    def test_composed_axes(self, seed):
+        """Migration + autoscale + chaos + sjf, all on one lazy stream."""
+        def run():
+            return _run_streaming_checked(
+                seed, "binpack", MigrateOnExit(migration_delay=3.0),
+                admission="sjf",
+                autoscale=QueueDepthAutoscale(
+                    up_threshold=2, provision_delay=5.0, cooldown=0.0
+                ),
+                failures="random:checkpoint(20)",
+                family="diurnal",
+            )
+
+        assert run()[0] == run()[0]
+
+
+class TestStreamingBoundedMemory:
+    """The bounded-memory witness: peak tracked state is a function of
+    the cluster's live capacity, not of how many jobs have streamed by.
+    """
+
+    _SHAPE = ([1.0, 1.0, 0.5, 0.5], [2, 2, 2, 2])
+
+    @pytest.mark.parametrize("family", sorted(STREAM_FAMILIES))
+    def test_peak_state_independent_of_run_length(self, family):
+        """Tripling the stream must not grow the peak tracked state.
+
+        On a fixed 4-worker × 2-slot cluster at most 8 containers are
+        ever live, so placements/runtime/journals/sampler windows are
+        all bounded by a shape constant.  A single per-job leak —
+        un-reaped exited containers, un-compacted journals, per-job
+        placement records — would grow the peak linearly with the
+        stream and trip the slack immediately.
+        """
+        _, small = _run_streaming_checked(
+            0, "spread", "none", family=family, n_jobs=30,
+            shape=self._SHAPE,
+        )
+        _, large = _run_streaming_checked(
+            0, "spread", "none", family=family, n_jobs=90,
+            shape=self._SHAPE,
+        )
+        assert large["peak"] <= small["peak"] + 8, (
+            f"peak tracked state grew from {small['peak']} to "
+            f"{large['peak']} for a 3x longer {family} stream: "
+            "per-job state is leaking"
+        )
+
+    def test_peak_state_bounded_under_chaos(self):
+        """Crash churn must not leak per-job state either: the crash
+        plan is O(workers) (each initial worker crashes at most once),
+        so its residue is a shape constant, not a stream length."""
+        kw = dict(
+            admission="wfq",
+            failures="random:checkpoint",
+            family="poisson",
+            shape=self._SHAPE,
+        )
+        _, small = _run_streaming_checked(1, "spread", "none", n_jobs=30, **kw)
+        _, large = _run_streaming_checked(1, "spread", "none", n_jobs=90, **kw)
+        assert large["peak"] <= small["peak"] + 8
+
+    def test_peak_state_proportional_to_fleet_under_autoscale(self):
+        """With an autoscaler the fleet itself grows with backlog, so
+        the right witness is *capacity*-proportionality: peak tracked
+        state stays within a fixed factor of the peak live slot count,
+        at both stream lengths.  A per-job leak breaks the factor on
+        the long run regardless of how far the fleet scaled."""
+        def run(n_jobs):
+            return _run_streaming_checked(
+                1, "spread", "none", n_jobs=n_jobs,
+                admission="wfq",
+                autoscale=QueueDepthAutoscale(
+                    up_threshold=2, provision_delay=5.0, cooldown=0.0
+                ),
+                family="poisson",
+                shape=self._SHAPE,
+            )[1]
+
+        small, large = run(30), run(90)
+        for witness in (small, large):
+            assert witness["peak"] <= 6 * witness["peak_slots"], witness
 
 
 def test_wfq_light_tenant_not_starved_by_flood():

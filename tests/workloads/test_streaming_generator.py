@@ -1,0 +1,152 @@
+"""Tests for the lazy generator family (``make_stream``).
+
+The contract under test: a :class:`WorkloadStream` is a frozen recipe —
+iterating it twice, materializing it, or regenerating it in another
+process yields bit-identical specs; every family produces non-decreasing
+arrival times; and the tenant mix draws follow the declared shares.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import (
+    STREAM_FAMILIES,
+    WorkloadStream,
+    make_stream,
+)
+
+TENANTS = (("batch", 3.0, 1.0), ("interactive", 1.0, 4.0))
+
+
+def _key(spec):
+    return (spec.label, spec.model_key, repr(spec.submit_time),
+            repr(spec.work_scale), spec.tenant, repr(spec.weight))
+
+
+class TestStreamDeterminism:
+    @pytest.mark.parametrize("family", sorted(STREAM_FAMILIES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_iterating_twice_is_bit_identical(self, family, seed):
+        stream = make_stream(family, n_jobs=50, seed=seed)
+        assert [_key(s) for s in stream] == [_key(s) for s in stream]
+
+    @pytest.mark.parametrize("family", sorted(STREAM_FAMILIES))
+    def test_materialize_equals_lazy_iteration(self, family):
+        stream = make_stream(family, n_jobs=40, seed=9, tenants=TENANTS)
+        assert [_key(s) for s in stream.materialize()] == [
+            _key(s) for s in stream
+        ]
+
+    def test_pickle_round_trip_regenerates_identically(self):
+        stream = make_stream("flash_crowd", n_jobs=30, seed=4)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert [_key(s) for s in clone] == [_key(s) for s in stream]
+
+    def test_different_seeds_differ(self):
+        a = make_stream("diurnal", n_jobs=30, seed=0)
+        b = make_stream("diurnal", n_jobs=30, seed=1)
+        assert [s.submit_time for s in a] != [s.submit_time for s in b]
+
+
+class TestStreamShape:
+    @pytest.mark.parametrize("family", sorted(STREAM_FAMILIES))
+    def test_times_non_decreasing_labels_in_order(self, family):
+        specs = list(make_stream(family, n_jobs=80, seed=2))
+        times = [s.submit_time for s in specs]
+        assert times == sorted(times)
+        assert [s.label for s in specs] == [
+            f"Job-{i + 1}" for i in range(80)
+        ]
+
+    def test_len_and_describe(self):
+        stream = make_stream("diurnal", n_jobs=100_000, seed=7)
+        assert len(stream) == 100_000
+        assert stream.describe() == "diurnal-100000@7"
+
+    def test_pareto_mix_scales_are_capped_and_floored(self):
+        specs = list(make_stream(
+            "pareto_mix", n_jobs=300, seed=1,
+            shape=1.5, scale_floor=0.25, size_cap=20.0,
+        ))
+        scales = np.array([s.work_scale for s in specs])
+        assert scales.min() >= 0.25
+        assert scales.max() <= 20.0
+        # Heavy tail: some draws must actually exceed the floor region.
+        assert (scales > 1.0).any()
+
+    def test_flash_crowd_bursts_raise_local_rate(self):
+        specs = list(make_stream(
+            "flash_crowd", n_jobs=2000, seed=0,
+            mean_gap=3.0, burst_every=600.0, burst_duration=60.0,
+            burst_factor=8.0,
+        ))
+        times = np.array([s.submit_time for s in specs])
+        # Burst epochs are seeded exponential draws, so test the
+        # *shape*: bin at the burst duration and compare against a
+        # burst-free Poisson stream of the same baseline rate.  The 8x
+        # crests must push the densest bin and the bin-count dispersion
+        # far beyond anything the flat stream produces.
+        flat = np.array([
+            s.submit_time
+            for s in make_stream("poisson", n_jobs=2000, seed=0,
+                                 mean_gap=3.0)
+        ])
+
+        def peak_and_dispersion(ts):
+            counts = np.bincount((ts / 60.0).astype(int))
+            return counts.max(), counts.var() / counts.mean()
+
+        crowd_peak, crowd_disp = peak_and_dispersion(times)
+        flat_peak, flat_disp = peak_and_dispersion(flat)
+        assert crowd_peak > 2.0 * flat_peak
+        assert crowd_disp > 3.0 * flat_disp
+
+    def test_tenant_mix_follows_shares(self):
+        specs = list(make_stream(
+            "poisson", n_jobs=4000, seed=5, tenants=TENANTS,
+        ))
+        drawn = [s.tenant for s in specs]
+        frac_batch = drawn.count("batch") / len(drawn)
+        assert frac_batch == pytest.approx(0.75, abs=0.05)
+        weights = {s.tenant: s.weight for s in specs}
+        assert weights == {"batch": 1.0, "interactive": 4.0}
+
+    def test_without_tenants_field_is_none(self):
+        specs = list(make_stream("poisson", n_jobs=10, seed=0))
+        assert all(s.tenant is None for s in specs)
+
+
+class TestStreamValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown stream family"):
+            make_stream("bimodal", n_jobs=10)
+
+    def test_nonpositive_n_jobs_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_stream("poisson", n_jobs=0)
+
+    def test_bad_params_fail_eagerly(self):
+        # make_stream() pulls the first arrival up front, so a bad
+        # parameter surfaces at construction, not mid-run.
+        with pytest.raises(WorkloadError):
+            make_stream("diurnal", n_jobs=10, mean_gap=-1.0)
+
+    def test_unknown_pool_entry_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_stream("poisson", n_jobs=10, pool=("bert@jax",))
+
+    def test_stream_is_frozen(self):
+        stream = make_stream("poisson", n_jobs=10)
+        with pytest.raises(AttributeError):
+            stream.n_jobs = 99
+
+    def test_streams_are_value_equal(self):
+        assert make_stream("diurnal", n_jobs=10, seed=3) == make_stream(
+            "diurnal", n_jobs=10, seed=3
+        )
+        assert isinstance(make_stream("poisson", n_jobs=1), WorkloadStream)
