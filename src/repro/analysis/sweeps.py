@@ -72,6 +72,7 @@ def sweep_grid(
     admission: str | None = None,
     autoscale: str | None = None,
     failures: str | None = None,
+    fabric: str | None = None,
     max_containers: int | None = None,
 ) -> SweepGrid:
     """Run FlowCon over an (α × itval) grid against one shared NA run.
@@ -92,7 +93,7 @@ def sweep_grid(
         are independent runs, so ``workers=N`` executes the grid N-wide
         with identical results.
     n_workers / placement / rebalance / admission / autoscale /
-    failures / max_containers:
+    failures / fabric / max_containers:
         Simulated cluster shape shared by every cell (and the NA
         reference), forwarded to the unified runner.  Admission and
         autoscale policies only act when ``max_containers`` bounds the
@@ -123,6 +124,7 @@ def sweep_grid(
         admission=admission,
         autoscale=autoscale,
         failures=failures,
+        fabric=fabric,
         max_containers=max_containers,
     )
     na_summary = records[0].summary()

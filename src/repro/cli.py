@@ -263,6 +263,7 @@ def _cmd_compare(args) -> int:
         admission=args.admission,
         autoscale=args.autoscale,
         failures=args.failures,
+        fabric=args.fabric,
         max_containers=args.slots,
     )
     na = run_cluster(specs, NAPolicy, sim_cfg, **cluster)
@@ -314,6 +315,13 @@ def _cmd_compare(args) -> int:
             f"{fc.summary.total_retries()} / "
             f"{len(fc.summary.failed_jobs)} (FlowCon)"
         )
+    if args.fabric != "ideal":
+        print(
+            f"fabric: {na.summary.message_retries():.0f} resends / "
+            f"{na.summary.messages_dropped():.0f} drops (NA), "
+            f"{fc.summary.message_retries():.0f} / "
+            f"{fc.summary.messages_dropped():.0f} (FlowCon)"
+        )
     return 0
 
 
@@ -361,6 +369,13 @@ def _print_streaming_compare(args, fc_cfg, na, fc) -> int:
             f"{fc.summary.total_retries()} / "
             f"{len(fc.summary.failed_jobs)} (FlowCon)"
         )
+    if args.fabric != "ideal":
+        print(
+            f"fabric: {na.summary.message_retries():.0f} resends / "
+            f"{na.summary.messages_dropped():.0f} drops (NA), "
+            f"{fc.summary.message_retries():.0f} / "
+            f"{fc.summary.messages_dropped():.0f} (FlowCon)"
+        )
     return 0
 
 
@@ -376,6 +391,7 @@ def _cmd_sweep(args) -> int:
         admission=args.admission,
         autoscale=args.autoscale,
         failures=args.failures,
+        fabric=args.fabric,
         max_containers=args.slots,
     )
     suffix = (
@@ -444,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="failure-injector spec, optionally with a "
                             "durability suffix (e.g. none, random, "
                             "rolling:checkpoint(60))")
+    p_cmp.add_argument("--fabric", default="ideal", metavar="SPEC",
+                       help="control-plane fabric spec, optionally with a "
+                            "retry suffix (e.g. ideal, drop(0.05), "
+                            "\"partition(30..90):retry(max=5,base=0.5)\")")
     p_cmp.add_argument("--tenant-weights", nargs="+", metavar="NAME=W",
                        default=None,
                        help="assign jobs round-robin to weighted tenants "
@@ -490,6 +510,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--failures", default="none", metavar="SPEC",
                          help="failure-injector spec (e.g. none, random, "
                               "rolling:checkpoint(60))")
+    p_sweep.add_argument("--fabric", default="ideal", metavar="SPEC",
+                         help="control-plane fabric spec (e.g. ideal, "
+                              "\"partition(30..90):retry(max=5,base=0.5)\")")
     p_sweep.add_argument("--profile", action="store_true",
                          help="run under cProfile and dump the top 25 "
                               "cumulative-time functions to stderr")

@@ -44,6 +44,12 @@ Five policies ship:
   analytic stand-in for expected remaining epochs).  Minimizes mean
   queue delay at the cost of fairness to large jobs.
 
+``wfq`` and ``sjf`` also honour the memory-fit probe: a head whose
+footprint fits no eligible worker is jumped by the best-keyed later
+job that does fit, under the same ``max_skips`` aging bound as
+``backfill``, so key order composes with fit-aware release instead of
+idling free memory behind an oversized head.
+
 All policies are deterministic: ties break on a monotonic enqueue
 sequence number, so replaying a run with the same seed reproduces every
 drain decision bit-for-bit.  Policies hold per-run state, so build a
@@ -251,11 +257,31 @@ class _HeapAdmission(AdmissionPolicy):
     Subclasses provide :meth:`_key`; ties always break on the enqueue
     sequence number, i.e. FIFO within a key class, which is also what
     makes every drain deterministic.
+
+    Setting :attr:`fit_aware` composes the key order with
+    :class:`BackfillAdmission`'s memory-fit probe: when the drain-order
+    head fails the probe, the best-keyed *later* entry that fits cleanly
+    releases instead, bounded by the same ``max_skips`` aging rule so a
+    large head is delayed at most ``max_skips`` backfills before the
+    drain suspends in its favour.  Key order is preserved among the
+    jobs that fit; only non-fitting entries are jumped.
     """
 
-    def __init__(self) -> None:
+    #: When true, :meth:`pop_fitting` backfills past a non-fitting head
+    #: (aging-bounded); when false (default) the probe is ignored.
+    fit_aware = False
+
+    def __init__(self, *, max_skips: int = 16) -> None:
+        if max_skips < 0:
+            raise ConfigError(
+                f"max_skips must be >= 0, got {max_skips!r}"
+            )
         self._heap: list[tuple] = []
         self._seq = 0
+        self.max_skips = max_skips
+        self._head_skips = 0
+        #: Out-of-order releases performed so far (observability).
+        self.backfills = 0
 
     def _key(self, submission: "JobSubmission") -> tuple:
         raise NotImplementedError
@@ -269,7 +295,35 @@ class _HeapAdmission(AdmissionPolicy):
     def pop(self) -> "JobSubmission":
         if not self._heap:
             raise ClusterError("admission queue is empty")
+        self._head_skips = 0
         return heapq.heappop(self._heap)[-1]
+
+    def _drop_entry(self, entry: tuple) -> "JobSubmission":
+        """Remove one non-head entry (linear; backfill is the rare path)."""
+        self._heap.remove(entry)
+        heapq.heapify(self._heap)
+        return entry[-1]
+
+    def pop_fitting(self, fits) -> "JobSubmission | None":
+        if not self.fit_aware:
+            return self.pop()
+        if not self._heap:
+            return None
+        ordered = sorted(self._heap)
+        if fits(ordered[0][-1]):
+            # Popping via pop() keeps subclass bookkeeping (wfq's
+            # virtual time) on the common path.
+            return self.pop()
+        if self._head_skips >= self.max_skips:
+            # Aged out: nothing releases until the head itself fits,
+            # exactly BackfillAdmission's anti-starvation rule.
+            return None
+        for entry in ordered[1:]:
+            if fits(entry[-1]):
+                self._head_skips += 1
+                self.backfills += 1
+                return self._drop_entry(entry)
+        return None
 
     def queued(self) -> list["JobSubmission"]:
         return [entry[-1] for entry in sorted(self._heap)]
@@ -299,9 +353,14 @@ class SjfAdmission(_HeapAdmission):
     enqueue time (jobs in the queue have not started, so this is their
     full expected size).  Classic SJF: minimizes mean wait, may delay
     the largest jobs under sustained pressure.
+
+    Fit-aware: when the shortest job's memory footprint fits no
+    eligible worker, the next-shortest job that fits cleanly releases
+    instead (aging-bounded — see :class:`_HeapAdmission`).
     """
 
     name = "sjf"
+    fit_aware = True
 
     def _key(self, submission: "JobSubmission") -> tuple:
         return (submission.job.remaining_work(),)
@@ -325,9 +384,16 @@ class WfqAdmission(_HeapAdmission):
     which prevents an idle tenant from banking credit while keeping the
     whole schedule a pure function of arrival order — deterministic
     under replay, no wall-clock involved.
+
+    Fit-aware: when the smallest-tag job's memory footprint fits no
+    eligible worker, the next-smallest tag that fits cleanly releases
+    instead (aging-bounded — see :class:`_HeapAdmission`); the virtual
+    time still advances to the released job's finish tag, so fairness
+    accounting survives out-of-order releases.
     """
 
     name = "wfq"
+    fit_aware = True
 
     def __init__(
         self, tenant_weights: Mapping[str, float] | None = None
@@ -357,10 +423,20 @@ class WfqAdmission(_HeapAdmission):
     def pop(self) -> "JobSubmission":
         if not self._heap:
             raise ClusterError("admission queue is empty")
+        self._head_skips = 0
         finish, _seq, submission = heapq.heappop(self._heap)
         if finish > self._vtime:
             self._vtime = finish
         return submission
+
+    def _drop_entry(self, entry: tuple) -> "JobSubmission":
+        # A backfilled release still advances the system virtual time
+        # to its finish tag — the same rule as an in-order pop — so
+        # idle tenants cannot bank credit across a backfill.
+        finish = entry[0]
+        if finish > self._vtime:
+            self._vtime = finish
+        return super()._drop_entry(entry)
 
     def describe(self) -> str:
         if not self.tenant_weights:

@@ -76,6 +76,25 @@ rejoins empty, :attr:`recover_hooks` fire (the runner restarts the
 recorder and attaches a fresh scheduling policy), and the queue drains
 into the recovered capacity.  The default ``"none"`` injector is
 short-circuited entirely: bit-identical to the failure-free manager.
+
+Message fabric
+--------------
+Every manager↔worker interaction — place orders, exit notifications,
+the detach/attach migration legs, provision/retire orders, and
+fault/recovery detection — is dispatched through a pluggable
+:class:`~repro.cluster.fabric.FabricPolicy` (sixth axis) as a typed
+message with a ``deliver`` effect and an optional ``on_fail``
+reconciliation handler.  The default :class:`~repro.cluster.fabric.
+IdealFabric` delivers inline (no events, no RNG, no traces), keeping
+behaviour bit-identical to the direct-call manager; a
+:class:`~repro.cluster.fabric.FaultyFabric` may delay, drop, duplicate
+or partition messages, with manager-side retry/backoff and
+reconciliation keeping accounting exactly-once: a place order that can
+never be delivered consumes the submission's ``retry_budget`` and
+ultimately lands the job in :attr:`Manager.failed`; lost exit/fault/
+recovery notifications are discovered late by reconciliation; in-flight
+slot reservations are stamped with the target's crash epoch so no
+reservation ever leaks.
 """
 
 from __future__ import annotations
@@ -91,6 +110,12 @@ from repro.cluster.autoscale import (
     AutoscalePolicy,
     NoAutoscale,
     make_autoscale,
+)
+from repro.cluster.fabric import (
+    MANAGER,
+    FabricPolicy,
+    IdealFabric,
+    make_fabric,
 )
 from repro.cluster.failures import (
     FailureInjector,
@@ -174,6 +199,11 @@ class Manager:
         ``"az_outage"``, ``"slow"``, optionally with a durability suffix
         like ``"rolling:checkpoint(60)"``); ``None`` means fair weather,
         the historical default.
+    fabric:
+        A :class:`~repro.cluster.fabric.FabricPolicy` instance or spec
+        string (``"ideal"``, or a fault plan like
+        ``"partition(25..55):retry(max=8,base=0.5)"``); ``None`` means
+        the ideal fabric, bit-identical to the direct-call manager.
     worker_factory:
         ``name -> Worker`` builder for autoscale-provisioned nodes.
         ``None`` (default) clones the first initial worker's shape
@@ -198,6 +228,7 @@ class Manager:
         admission: AdmissionPolicy | str | None = None,
         autoscale: AutoscalePolicy | str | None = None,
         failures: FailureInjector | str | None = None,
+        fabric: FabricPolicy | str | None = None,
         worker_factory: WorkerFactory | None = None,
         stream_sink=None,
     ) -> None:
@@ -217,6 +248,7 @@ class Manager:
         self.autoscale = make_autoscale(autoscale)
         self.autoscale.bind(sim, len(self.workers))
         self.failures = make_failures(failures)
+        self.fabric = make_fabric(fabric)
         self.worker_factory = worker_factory
         # Checkpoint pruning stays enabled even with rebalancing armed:
         # a migrated container's new-node observers are window-seeded at
@@ -283,6 +315,15 @@ class Manager:
             worker.exit_hooks.append(self._on_worker_exit)
             worker.reap_exited = self._streaming
         self._failures_armed = not isinstance(self.failures, NoFailures)
+        self._fabric_ideal = isinstance(self.fabric, IdealFabric)
+        #: Original submissions are tracked whenever anything can orphan
+        #: a placed job — worker crashes *or* undeliverable messages.
+        self._track_submissions = (
+            self._failures_armed or not self._fabric_ideal
+        )
+        # The fabric binds before the failure plan (partition groups are
+        # resolved from the initial fleet); failures still bind last.
+        self.fabric.bind(sim, self)
         if self._failures_armed:
             # Bind last: fault plans may inspect the fully wired fleet.
             self.failures.bind(sim, self)
@@ -367,8 +408,34 @@ class Manager:
         return [w for w in self.workers if w.has_headroom()]
 
     def _place(self, submission: JobSubmission, eligible: list[Worker]) -> None:
-        """Launch *submission* on a worker chosen by the placement policy."""
+        """Send a place order for *submission* to a chosen worker.
+
+        The admission slot is reserved *before* the order is sent and
+        released by the delivery handler, so a slow fabric can never
+        over-subscribe a worker; through the ideal fabric the
+        reserve/deliver/release sequence runs inline and is invisible.
+        """
         worker = self.placement.select(eligible, submission)
+        worker.reserve_slot()
+        epoch = worker.epoch
+        self.fabric.send(
+            "place",
+            MANAGER,
+            worker.name,
+            lambda: self._deliver_place(submission, worker, epoch),
+            lambda: self._place_undeliverable(submission, worker, epoch),
+        )
+
+    def _deliver_place(
+        self, submission: JobSubmission, worker: Worker, epoch: int
+    ) -> None:
+        """A place order arrives at its worker: launch the container."""
+        if worker.epoch != epoch or worker not in self.workers:
+            # The target crashed while the order was in flight (its
+            # reservation vanished with the crash): admit the job again.
+            self._admit(submission)
+            return
+        worker.release_reservation()
         container = worker.launch(
             submission.job,
             name=submission.label,
@@ -397,7 +464,7 @@ class Manager:
                 self.queue_delays[submission.label] = delay
             if submission.tenant is not None:
                 self.tenants[submission.label] = submission.tenant
-        if self._failures_armed:
+        if self._track_submissions:
             self._active_submissions[submission.label] = submission
         self._pending -= 1
         if self._pending == 0:
@@ -412,6 +479,43 @@ class Manager:
             + (f" after {delay:.1f}s queued" if delay > 0 else ""),
             cid=container.cid,
         )
+
+    def _place_undeliverable(
+        self, submission: JobSubmission, worker: Worker, epoch: int
+    ) -> None:
+        """A place order exhausted its retries: reconcile the job.
+
+        The reservation is released (unless the worker's crash already
+        zeroed it), one unit of the submission's ``retry_budget`` is
+        consumed — an undeliverable order is operationally a lost
+        execution attempt — and the job re-enters admission, or lands in
+        :attr:`failed` with its budget exhausted.  Accounting stays
+        exactly-once: the job was never launched, so nothing ran twice.
+        """
+        if worker.epoch == epoch and worker in self.workers:
+            worker.release_reservation()
+        label = submission.label
+        used = self.retries.get(label, 0)
+        if used >= submission.retry_budget:
+            self.failed[label] = (used, self.lost_work.get(label, 0.0))
+            self._pending -= 1
+            if self.sim.trace_enabled:
+                self.sim.trace(
+                    "manager.fault",
+                    f"{label} failed permanently: place order "
+                    f"undeliverable after {used} retries",
+                )
+            if self._pending == 0:
+                self.placement.quiesce()
+            return
+        self.retries[label] = used + 1
+        if self.sim.trace_enabled:
+            self.sim.trace(
+                "manager.fault",
+                f"re-admitting {label} after undeliverable place order "
+                f"(retry {self.retries[label]}/{submission.retry_budget})",
+            )
+        self._admit(submission)
 
     def _rearm_draining(self) -> list[Worker]:
         """Un-drain one worker with free slots; return the new eligibles.
@@ -437,7 +541,10 @@ class Manager:
         return []
 
     def _on_arrival(self, event: Event) -> None:
-        submission: JobSubmission = event.payload
+        self._admit(event.payload)
+
+    def _admit(self, submission: JobSubmission) -> None:
+        """Place an accepted submission now, or queue it under pressure."""
         eligible = self._eligible_workers()
         if not eligible and not isinstance(self.autoscale, NoAutoscale):
             eligible = self._rearm_draining()
@@ -508,13 +615,26 @@ class Manager:
         return True
 
     def _on_worker_exit(self, container) -> None:
-        """Worker exit hook: drain the admission queue, then rebalance.
+        """Worker exit hook: notify the manager through the fabric.
+
+        A lost exit notification is discovered late by reconciliation
+        (the ``on_fail`` handler simply delivers it), so the queue
+        always drains eventually — a partitioned worker cannot wedge
+        admission forever.
+        """
+        record = self.placements.get(container.name)
+        src = record.worker_name if record is not None else MANAGER
+        deliver = lambda: self._deliver_exit(container)  # noqa: E731
+        self.fabric.send("exit", src, MANAGER, deliver, deliver)
+
+    def _deliver_exit(self, container) -> None:
+        """An exit notification arrives: drain the queue, then rebalance.
 
         The rebalance pass runs only when the queue fully drained (a
         backlog implies no free slot to migrate into); the autoscale
         pass always runs — the backlog is precisely its scale-up signal.
         """
-        if self._failures_armed:
+        if self._track_submissions:
             # The job completed: no crash can orphan it anymore.
             self._active_submissions.pop(container.name, None)
         if self._streaming:
@@ -545,10 +665,31 @@ class Manager:
             self._migrate(move)
 
     def _migrate(self, move: Migration) -> None:
-        """Execute one planned migration (synchronous or in-flight)."""
-        label = move.label
+        """Execute one planned migration through the fabric.
+
+        The detach order travels to the source worker; a lost order
+        simply cancels the move (nothing has happened yet, so there is
+        nothing to undo — the rebalancer will re-plan from live state).
+        """
         delay = self.rebalance.delay_for(move.container)
-        container = move.source.detach(move.container.cid)
+        self.fabric.send(
+            "detach",
+            MANAGER,
+            move.source.name,
+            lambda: self._deliver_detach(move, delay),
+        )
+
+    def _deliver_detach(self, move: Migration, delay: float) -> None:
+        """A detach order arrives: checkpoint the container off its node."""
+        label = move.label
+        cid = move.container.cid
+        if move.source not in self.workers or not any(
+            c.cid == cid for c in move.source.running_containers()
+        ):
+            return  # the order raced an exit or a crash and lost
+        if move.target not in self.workers or not move.target.has_headroom():
+            return  # the target filled or vanished while the order flew
+        container = move.source.detach(cid)
         self.migrations[label] = self.migrations.get(label, 0) + 1
         if delay > 0:
             self.migration_delays[label] = (
@@ -570,7 +711,7 @@ class Manager:
                 cid=container.cid,
             )
         if delay <= 0:
-            move.target.attach(container)
+            self._send_attach(container, move.target)
             return
         move.target.reserve_slot()
         self._in_flight += 1
@@ -588,12 +729,42 @@ class Manager:
         )
 
     def _on_migration_arrival(self, event: Event) -> None:
-        """An in-flight container reaches its target worker."""
+        """An in-flight container reaches its target: send the attach leg."""
         container, target = event.payload
         self._inflight_migrations.pop(container.cid, None)
         target.release_reservation()
         self._in_flight -= 1
+        self._send_attach(container, target)
+
+    def _send_attach(self, container, target: Worker) -> None:
+        """Send the attach leg, holding a slot until it resolves."""
+        target.reserve_slot()
+        epoch = target.epoch
+        self.fabric.send(
+            "attach",
+            MANAGER,
+            target.name,
+            lambda: self._deliver_attach(container, target, epoch),
+            lambda: self._attach_undeliverable(container, target, epoch),
+        )
+
+    def _deliver_attach(self, container, target: Worker, epoch: int) -> None:
+        """An attach order arrives: the target adopts the container."""
+        if target.epoch != epoch or target not in self.workers:
+            # The target crashed under the in-flight container: it is an
+            # orphan now, exactly as if it had been resident at the crash.
+            self._resolve_orphan(container)
+            return
+        target.release_reservation()
         target.attach(container)
+
+    def _attach_undeliverable(
+        self, container, target: Worker, epoch: int
+    ) -> None:
+        """An attach order exhausted its retries: orphan the container."""
+        if target.epoch == epoch and target in self.workers:
+            target.release_reservation()
+        self._resolve_orphan(container)
 
     # -- autoscaling -----------------------------------------------------------------
 
@@ -632,11 +803,12 @@ class Manager:
                 self._drain_queue()
                 return True
         self._provisions_pending += 1
-        self.sim.schedule(
-            self.sim.now + self.autoscale.provision_delay,
-            self._on_provision,
-            kind=EventKind.WORKER_PROVISION,
-            priority=PRIORITY_ARRIVAL,
+        self.fabric.send(
+            "provision",
+            MANAGER,
+            "cloud",
+            self._deliver_provision,
+            self._provision_undeliverable,
         )
         self.sim.trace(
             "manager.scale",
@@ -645,6 +817,23 @@ class Manager:
             f"+{self._provisions_pending} pending)",
         )
         return True
+
+    def _deliver_provision(self) -> None:
+        """A provision order reaches the cloud: the boot clock starts."""
+        self.sim.schedule(
+            self.sim.now + self.autoscale.provision_delay,
+            self._on_provision,
+            kind=EventKind.WORKER_PROVISION,
+            priority=PRIORITY_ARRIVAL,
+        )
+
+    def _provision_undeliverable(self) -> None:
+        """A provision order was lost: give the signal back to the planner."""
+        self._provisions_pending -= 1
+        self.sim.trace(
+            "manager.scale", "provision order lost in the fabric; replanning"
+        )
+        self._autoscale_pass()
 
     def _on_provision(self, _event: Event) -> None:
         """A provisioned worker finishes booting and joins the fleet."""
@@ -718,11 +907,21 @@ class Manager:
         return False
 
     def _retire(self, worker: Worker) -> None:
-        """Remove one empty worker from the fleet."""
-        if not worker.is_empty():  # pragma: no cover - defensive
-            raise ClusterError(
-                f"cannot retire non-empty worker {worker.name}"
-            )
+        """Send a retire order for one empty worker."""
+        self.fabric.send(
+            "retire",
+            MANAGER,
+            worker.name,
+            lambda: self._deliver_retire(worker),
+        )
+
+    def _deliver_retire(self, worker: Worker) -> None:
+        """A retire order arrives: the worker leaves the fleet if still idle."""
+        if worker not in self.workers or not worker.is_empty():
+            # The order raced real fleet dynamics (a placement landed, a
+            # crash removed the node first) and lost; the next autoscale
+            # pass re-plans from live state.
+            return
         worker.draining = False
         worker.exit_hooks.remove(self._on_worker_exit)
         self.workers.remove(worker)
@@ -751,8 +950,19 @@ class Manager:
         )
 
     def _on_fault(self, event: Event) -> None:
-        """An injected fault fires against a (possibly departed) worker."""
+        """An injected fault fires: the failure detector reports it.
+
+        The report travels through the fabric — under a partition the
+        manager may learn of a crash late (or only when reconciliation
+        audits the fleet), during which the node's work continues to be
+        treated as live, exactly like a real missed-heartbeat window.
+        """
         fault: WorkerFault = event.payload
+        deliver = lambda: self._deliver_fault(fault)  # noqa: E731
+        self.fabric.send("fail", fault.worker, MANAGER, deliver, deliver)
+
+    def _deliver_fault(self, fault: WorkerFault) -> None:
+        """A fault report reaches the manager: act on it."""
         worker = next(
             (w for w in self.workers if w.name == fault.worker), None
         )
@@ -784,13 +994,18 @@ class Manager:
             )
 
     def _on_slow_recover(self, event: Event) -> None:
+        """A degraded worker reports recovery (through the fabric)."""
+        worker, capacity = event.payload
+        deliver = lambda: self._deliver_slow_recover(worker, capacity)  # noqa: E731
+        self.fabric.send("recover", worker.name, MANAGER, deliver, deliver)
+
+    def _deliver_slow_recover(self, worker: Worker, capacity: float) -> None:
         """A degraded worker's capacity is restored.
 
         Restored even if the node crashed or was retired in the interim
         (both leave it empty, so the reallocation is a no-op): a node
         that later rejoins must come back at full health.
         """
-        worker, capacity = event.payload
         worker.set_capacity(capacity)
         self.sim.trace(
             "manager.fault",
@@ -889,8 +1104,13 @@ class Manager:
             )
 
     def _on_worker_recover(self, event: Event) -> None:
-        """A crashed worker rejoins the fleet, empty and at full health."""
+        """A crashed worker reports itself back (through the fabric)."""
         worker: Worker = event.payload
+        deliver = lambda: self._deliver_recover(worker)  # noqa: E731
+        self.fabric.send("recover", worker.name, MANAGER, deliver, deliver)
+
+    def _deliver_recover(self, worker: Worker) -> None:
+        """A crashed worker rejoins the fleet, empty and at full health."""
         if any(w.name == worker.name for w in self.workers):
             return  # pragma: no cover - defensive (double recovery)
         worker.exit_hooks.append(self._on_worker_exit)

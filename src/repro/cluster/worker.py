@@ -126,6 +126,11 @@ class Worker:
 
         self._last_settle = sim.now
         self._reserved = 0
+        #: Crash epoch, bumped by every :meth:`crash`.  A crash zeroes
+        #: the reservation count, so the manager stamps each in-flight
+        #: message with the epoch it reserved under and releases only if
+        #: the epoch is unchanged when the message resolves.
+        self.epoch = 0
         #: Draining workers accept no new placements or migration
         #: targets; the autoscaler retires them at the first moment they
         #: are empty (see :mod:`repro.cluster.autoscale`).
@@ -332,6 +337,7 @@ class Worker:
             self.pool.discard(container.cid, self.sim.now)
         self._reserved = 0
         self.draining = False
+        self.epoch += 1
         if self.sim.trace_enabled:
             self.sim.trace(
                 "worker.crash",

@@ -172,6 +172,13 @@ class SimulationConfig:
         :mod:`repro.cluster.failures`).  ``"none"`` (historical
         behaviour) injects nothing and is bit-identical to the
         failure-free manager.
+    fabric:
+        Default control-plane fabric spec (``"ideal"``, or a network
+        fault plan like ``"partition(25..55):retry(max=8,base=0.5)"``,
+        ``"drop(0.05)+delay(exp,0.2)"``; see
+        :mod:`repro.cluster.fabric`).  ``"ideal"`` (historical
+        behaviour) delivers every manager↔worker message inline and is
+        bit-identical to the direct-call manager.
     fleet_mode:
         When ``True`` the runner arms the fused fleet-tick engine
         (:mod:`repro.cluster.fleet`): same-instant sampling ticks across
@@ -202,6 +209,7 @@ class SimulationConfig:
     admission: str = "fifo"
     autoscale: str = "none"
     failures: str = "none"
+    fabric: str = "ideal"
     fleet_mode: bool = False
     streaming_metrics: bool = False
 
@@ -249,6 +257,13 @@ class SimulationConfig:
             # Full spec-string validation ("rolling:checkpoint(60)"
             # carries arguments, so membership alone is not enough).
             make_failures(self.failures)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
+        from repro.cluster.fabric import make_fabric
+
+        try:
+            # Same deal: fabric specs are fault-plan expressions.
+            make_fabric(self.fabric)
         except ValueError as exc:
             raise ConfigError(str(exc)) from None
 

@@ -95,6 +95,11 @@ class RunTask:
         :mod:`repro.cluster.failures`); carried by spec for the same
         picklability reason.  ``None`` defers to
         ``sim_config.failures``.
+    fabric:
+        Control-plane fabric spec string (see
+        :mod:`repro.cluster.fabric`); carried by spec for the same
+        picklability reason.  ``None`` defers to
+        ``sim_config.fabric``.
     capacities:
         Optional per-worker CPU capacities (heterogeneous clusters).
     max_containers:
@@ -115,6 +120,7 @@ class RunTask:
     admission: str | None = None
     autoscale: str | None = None
     failures: str | None = None
+    fabric: str | None = None
     capacities: tuple[float, ...] | None = None
     max_containers: int | tuple[int | None, ...] | None = None
     label: str = ""
@@ -131,7 +137,9 @@ class RunRecord:
     map of multi-tenant runs and ``fleet_timeline`` the autoscaler's
     ``(time, worker count)`` trajectory.  ``retries``/``failed_jobs``
     carry the failure injector's crash-restart counts and
-    retry-exhausted jobs (empty under ``failures="none"``).
+    retry-exhausted jobs (empty under ``failures="none"``), and
+    ``fabric_stats`` the fabric's per-message counters (sends only
+    under ``fabric="ideal"``).
 
     Streaming runs come back with ``completions=()`` and the run's
     :class:`~repro.metrics.sketch.StreamMetrics` in ``stream`` (sketches
@@ -157,6 +165,7 @@ class RunRecord:
     fleet_timeline: tuple[tuple[float, int], ...] = ()
     retries: tuple[tuple[str, int], ...] = ()
     failed_jobs: tuple[tuple[str, tuple[int, float]], ...] = ()
+    fabric_stats: tuple[tuple[str, float], ...] = ()
     stream: StreamMetrics | None = None
     makespan: float = field(init=False)
 
@@ -182,6 +191,7 @@ class RunRecord:
             fleet_timeline=self.fleet_timeline,
             retries=dict(self.retries),
             failed_jobs=dict(self.failed_jobs),
+            fabric_stats=dict(self.fabric_stats),
             stream=self.stream,
         )
 
@@ -221,6 +231,7 @@ def _execute_task(task: RunTask) -> RunRecord:
         admission=task.admission,
         autoscale=task.autoscale,
         failures=task.failures,
+        fabric=task.fabric,
         capacities=task.capacities,
         max_containers=task.max_containers,
     )
@@ -242,6 +253,7 @@ def _execute_task(task: RunTask) -> RunRecord:
         fleet_timeline=tuple(summary.fleet_timeline),
         retries=tuple(sorted(summary.retries.items())),
         failed_jobs=tuple(sorted(summary.failed_jobs.items())),
+        fabric_stats=tuple(sorted(summary.fabric_stats.items())),
         stream=summary.stream,
     )
 
@@ -306,6 +318,7 @@ def run_many(
     admission: str | None = None,
     autoscale: str | None = None,
     failures: str | None = None,
+    fabric: str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
 ) -> list[RunRecord]:
@@ -332,7 +345,7 @@ def run_many(
     labels:
         Optional per-run labels carried into the records.
     n_workers / placement / rebalance / admission / autoscale /
-    failures / capacities / max_containers:
+    failures / fabric / capacities / max_containers:
         Simulated-cluster shape shared by every run, forwarded to
         :func:`~repro.experiments.runner.run_cluster` (policies by
         registry name, to keep tasks picklable).
@@ -379,6 +392,7 @@ def run_many(
             admission=admission,
             autoscale=autoscale,
             failures=failures,
+            fabric=fabric,
             capacities=None if capacities is None else tuple(capacities),
             max_containers=(
                 max_containers

@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 
 from repro.cluster.admission import AdmissionPolicy
 from repro.cluster.autoscale import AutoscalePolicy
+from repro.cluster.fabric import FabricPolicy
 from repro.cluster.failures import FailureInjector
 from repro.cluster.fleet import FleetTicker
 from repro.cluster.manager import Manager
@@ -135,6 +136,7 @@ def run_cluster(
     admission: AdmissionPolicy | str | None = None,
     autoscale: AutoscalePolicy | str | None = None,
     failures: FailureInjector | str | None = None,
+    fabric: FabricPolicy | str | None = None,
     capacities: Sequence[float] | None = None,
     max_containers: int | Sequence[int | None] | None = None,
     streaming_metrics: bool | None = None,
@@ -193,6 +195,18 @@ def run_cluster(
         ``"none"``, the historical fair-weather behaviour).  Jobs whose
         retry budget a crash plan exhausts land in
         ``summary.failed_jobs`` instead of the completions.
+    fabric:
+        Control-plane fabric instance or spec string (``"ideal"``, or a
+        network fault plan like
+        ``"partition(25..55):retry(max=8,base=0.5)"`` or
+        ``"drop(0.05)+delay(exp,0.2)"``; see
+        :mod:`repro.cluster.fabric`); ``None`` falls back to
+        ``sim_config.fabric`` (default ``"ideal"``, the historical
+        inline-delivery behaviour, bit-identical to the direct-call
+        manager).  Jobs whose placement messages exhaust both the
+        fabric's retries and their own retry budget land in
+        ``summary.failed_jobs``; per-message counters surface on
+        ``summary.fabric_stats``.
     capacities:
         Optional per-worker CPU capacities for heterogeneous clusters.
     max_containers:
@@ -286,6 +300,7 @@ def run_cluster(
         admission=admission if admission is not None else cfg.admission,
         autoscale=autoscale if autoscale is not None else cfg.autoscale,
         failures=failures if failures is not None else cfg.failures,
+        fabric=fabric if fabric is not None else cfg.fabric,
         worker_factory=provisioned_worker,
         stream_sink=sink,
     )
@@ -386,7 +401,10 @@ def run_cluster(
         if (
             event.kind is EventKind.CONTAINER_EXIT
             or event.kind is EventKind.WORKER_FAIL
+            or event.kind is EventKind.MESSAGE
         ):
+            # MESSAGE events matter too: a fabric give-up fails a job
+            # without any container exit or worker crash.
             resolved = _resolved()
 
     for recorder in recorders.values():
@@ -408,6 +426,7 @@ def run_cluster(
             fleet_timeline=tuple(manager.fleet_timeline),
             retries=dict(manager.retries),
             failed_jobs=dict(manager.failed),
+            fabric_stats=manager.fabric.stats(),
             stream=sink,
         )
     else:
@@ -429,6 +448,7 @@ def run_cluster(
             fleet_timeline=tuple(manager.fleet_timeline),
             retries=dict(manager.retries),
             failed_jobs=dict(manager.failed),
+            fabric_stats=manager.fabric.stats(),
         )
 
     return RunResult(
@@ -467,6 +487,7 @@ def scaling_study(
     admission: str | None = None,
     autoscale: str | None = None,
     failures: str | None = None,
+    fabric: str | None = None,
     workers: int = 1,
 ):
     """Run one workload across several cluster sizes, optionally in parallel.
@@ -492,10 +513,10 @@ def scaling_study(
     rebalance:
         Rebalance-policy registry name shared by every run; ``None``
         defers to ``sim_config.rebalance``.
-    admission / autoscale / failures:
-        Admission-/autoscale-policy registry names and failure-injector
-        spec shared by every run; ``None`` defers to the config
-        defaults.
+    admission / autoscale / failures / fabric:
+        Admission-/autoscale-policy registry names, failure-injector
+        spec and control-plane fabric spec shared by every run;
+        ``None`` defers to the config defaults.
     workers:
         *Host* process count for the batch runner (unrelated to the
         simulated cluster sizes).
@@ -522,6 +543,7 @@ def scaling_study(
             admission=admission,
             autoscale=autoscale,
             failures=failures,
+            fabric=fabric,
             label=f"{n}-worker",
         )
         for i, n in enumerate(cluster_sizes)

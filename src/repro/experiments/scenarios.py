@@ -45,6 +45,8 @@ __all__ = [
     "rolling_restart",
     "az_outage",
     "slow_node",
+    "network_partition",
+    "gray_network",
 ]
 
 
@@ -257,6 +259,10 @@ class ClusterScenario:
     #: injects nothing); purely a recommendation — the chaos benches
     #: override the durability suffix to compare lost vs checkpoint.
     failures: str = "none"
+    #: Control-plane fabric spec the scenario is built to stress
+    #: ("ideal" delivers inline); purely a recommendation — the fabric
+    #: bench overrides the retry suffix to compare retry vs noretry.
+    fabric: str = "ideal"
 
     @property
     def n_workers(self) -> int:
@@ -463,4 +469,73 @@ def slow_node(
         max_containers=(6, 6, 6, 6),
         rebalance="progress",
         failures="slow",
+    )
+
+
+def network_partition(
+    seed: int = 42, *, n_jobs: int = 60
+) -> ClusterScenario:
+    """Split-brain scenario: half the fleet goes unreachable for 30 s.
+
+    Six bounded workers take a dense Poisson stream; between t=25 and
+    t=55 the control-plane fabric partitions the second half of the
+    fleet away from the manager — the *nodes* keep running whatever
+    they hold, but placements, exit notifications and everything else
+    crossing the wire toward them is dropped.  The default fabric arms
+    capped-exponential retries sized so at least one resend always
+    lands after the heal (8 retries, 0.5 s base, 8 s cap ≈ a 40 s
+    span); the ``:noretry`` variant gives up on first loss and
+    discovers lost exits only when reconciliation fires.  Jobs carry
+    **zero** crash-retry budget, so one undeliverable placement is a
+    permanently failed job — which is exactly the difference
+    ``bench_perf_fabric.py`` measures: retry/backoff must beat noretry
+    on both makespan and failed-job count.
+    """
+    gen = WorkloadGenerator(_rng(seed, "netpartition"))
+    # Short jobs (~10 CPU-s) at a dense arrival rate: exits and
+    # queue-drain placements flow *during* the 30 s fault window —
+    # lost exit notifications leave the manager blind to freed dark
+    # slots, which is what the retry layer has to recover from.
+    specs = [
+        replace(s, work_scale=0.025)
+        for s in gen.poisson_mix(n_jobs, mean_gap=1.0)
+    ]
+    return ClusterScenario(
+        specs=_with_retry_budget(specs, 0),
+        capacities=(1.0,) * 6,
+        max_containers=(2,) * 6,
+        fabric=(
+            "partition(25..55)"
+            ":retry(max=8,base=0.5,cap=8.0,jitter=0.1,reconcile=45)"
+        ),
+    )
+
+
+def gray_network(
+    seed: int = 42, *, n_jobs: int = 24, factor: float = 6.0
+) -> ClusterScenario:
+    """Gray-failure scenario: one link silently degrades, nothing heals.
+
+    Four bounded workers take a Poisson stream, but the link to one of
+    them drops most traffic and multiplies the latency of what gets
+    through — the flaky ToR port monitoring never flags because the
+    node itself is healthy.  Unlike :func:`network_partition` there is
+    no heal window: every message toward the gray node needs the
+    retry/backoff layer for its whole lifetime, which makes the
+    scenario the steady-state stress for timeout tuning and duplicate
+    suppression (resends can race a slow original).
+    """
+    gen = WorkloadGenerator(_rng(seed, "graynet"))
+    specs = [
+        replace(s, work_scale=0.05)
+        for s in gen.poisson_mix(n_jobs, mean_gap=3.0)
+    ]
+    return ClusterScenario(
+        specs=_with_retry_budget(specs, 2),
+        capacities=(1.0,) * 4,
+        max_containers=(2,) * 4,
+        fabric=(
+            f"delay(const,0.05)+gray_link(worker-3,{factor:g})"
+            ":retry(max=6,base=0.5,cap=4.0,jitter=0.1,reconcile=30)"
+        ),
     )

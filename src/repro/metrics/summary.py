@@ -68,6 +68,12 @@ class RunSummary:
     accounting stays exactly-once even though execution under crashes is
     at-least-once.  Both are empty under ``failures="none"``.
 
+    ``fabric_stats`` carries the control-plane fabric's per-message
+    counters (``messages_sent``, ``message_retries``,
+    ``messages_dropped``, ``duplicates_suppressed``,
+    ``mean_message_latency``, …; see :mod:`repro.cluster.fabric`) —
+    the ideal fabric reports sends only, all faults and retries zero.
+
     Streaming runs carry a :class:`~repro.metrics.sketch.StreamMetrics`
     in ``stream`` instead of per-job records: the aggregate views shared
     by both modes — ``makespan``, ``n_completed``, queue-delay totals,
@@ -87,6 +93,7 @@ class RunSummary:
     fleet_timeline: tuple = ()
     retries: dict[str, int] = field(default_factory=dict)
     failed_jobs: dict[str, tuple[int, float]] = field(default_factory=dict)
+    fabric_stats: dict[str, float] = field(default_factory=dict)
     stream: StreamMetrics | None = None
 
     def __post_init__(self) -> None:
@@ -242,6 +249,32 @@ class RunSummary:
     def failed_lost_work(self) -> float:
         """CPU-seconds of progress lost by retry-exhausted jobs."""
         return float(sum(lost for _, lost in self.failed_jobs.values()))
+
+    # -- control-plane fabric --------------------------------------------------------
+
+    def messages_sent(self) -> float:
+        """Control-plane messages dispatched through the fabric."""
+        return self.fabric_stats.get("messages_sent", 0.0)
+
+    def message_retries(self) -> float:
+        """Timeout-triggered resends executed by the fabric."""
+        return self.fabric_stats.get("message_retries", 0.0)
+
+    def messages_dropped(self) -> float:
+        """Send attempts lost to drops, partitions or gray links."""
+        return self.fabric_stats.get("messages_dropped", 0.0)
+
+    def messages_failed(self) -> float:
+        """Messages the fabric gave up on after exhausting retries."""
+        return self.fabric_stats.get("messages_failed", 0.0)
+
+    def duplicates_suppressed(self) -> float:
+        """Redundant deliveries the receive-side dedup discarded."""
+        return self.fabric_stats.get("duplicates_suppressed", 0.0)
+
+    def mean_message_latency(self) -> float:
+        """Mean send-to-delivery latency over delivered messages."""
+        return self.fabric_stats.get("mean_message_latency", 0.0)
 
     # -- autoscaling -----------------------------------------------------------------
 

@@ -39,6 +39,9 @@ class EventKind(enum.Enum):
     WORKER_FAIL = "worker_fail"
     #: A failed worker rejoining the fleet at full health.
     WORKER_RECOVER = "worker_recover"
+    #: A control-plane message event (delivery, retry timeout, reconcile)
+    #: scheduled by a non-ideal :mod:`repro.cluster.fabric` policy.
+    MESSAGE = "message"
     #: A periodic scheduling-policy tick (Algorithm 1 cadence).
     SCHEDULER_TICK = "scheduler_tick"
     #: A listener poll (Algorithm 2 cadence).

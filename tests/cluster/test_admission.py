@@ -314,11 +314,92 @@ class TestAdmissionPolicies:
     def test_default_pop_fitting_ignores_probe(self):
         """Non-fit-aware policies release unconditionally — the probe is
         advisory, preserving bit-identical historical drains."""
-        for name in ("fifo", "priority", "sjf", "wfq"):
+        for name in ("fifo", "priority"):
             policy = make_admission(name)
             policy.push(_submission("only", 0.0))
             released = policy.pop_fitting(lambda sub: False)
             assert released is not None and released.label == "only"
+
+
+class TestFitAwareHeapAdmission:
+    """wfq/sjf compose key order with the backfill memory-fit probe."""
+
+    def _fits_by_label(self, *labels):
+        allowed = set(labels)
+        return lambda sub: sub.label in allowed
+
+    def test_sjf_backfills_next_shortest_fitting(self):
+        policy = make_admission("sjf")
+        policy.push(_submission("short", 0.0, work=10.0))
+        policy.push(_submission("mid", 0.0, work=20.0))
+        policy.push(_submission("long", 0.0, work=30.0))
+        fits = self._fits_by_label("mid", "long")
+        # Shortest fails the probe → next-shortest fitting releases.
+        assert policy.pop_fitting(fits).label == "mid"
+        assert policy.backfills == 1
+        # Key order is preserved among the remaining jobs.
+        assert [s.label for s in policy.queued()] == ["short", "long"]
+
+    def test_sjf_fitting_head_is_plain_key_order(self):
+        policy = make_admission("sjf")
+        for label, work in (("b", 20.0), ("a", 10.0), ("c", 30.0)):
+            policy.push(_submission(label, 0.0, work=work))
+        order = [
+            policy.pop_fitting(lambda sub: True).label for _ in range(3)
+        ]
+        assert order == ["a", "b", "c"]
+        assert policy.backfills == 0
+
+    def test_sjf_aging_suspends_backfill(self):
+        policy = make_admission("sjf")
+        policy.max_skips = 2
+        policy.push(_submission("head", 0.0, work=1.0))
+        fits = self._fits_by_label("f1", "f2", "f3")
+        for label in ("f1", "f2", "f3"):
+            policy.push(_submission(label, 0.0, work=50.0))
+        assert policy.pop_fitting(fits).label == "f1"
+        assert policy.pop_fitting(fits).label == "f2"
+        # Skip budget exhausted: nothing releases until the head fits.
+        assert policy.pop_fitting(fits) is None
+        released = policy.pop_fitting(self._fits_by_label("head", "f3"))
+        assert released.label == "head"
+        # Head released → budget reset → backfill resumes.
+        assert policy.pop_fitting(fits).label == "f3"
+
+    def test_sjf_nothing_fits_returns_none(self):
+        policy = make_admission("sjf")
+        policy.push(_submission("a", 0.0))
+        assert policy.pop_fitting(lambda sub: False) is None
+        assert len(policy) == 1
+        assert make_admission("sjf").pop_fitting(lambda sub: True) is None
+
+    def test_wfq_backfill_advances_virtual_time(self):
+        """An out-of-order release moves vtime to its finish tag, the
+        same rule as an in-order pop."""
+        policy = make_admission("wfq")
+        policy.push(_submission("h1", 0.0, tenant="heavy"))
+        policy.push(_submission("h2", 0.0, tenant="heavy"))
+        policy.push(_submission("lite", 0.0, tenant="light", weight=0.25))
+        # Heavy head doesn't fit; the light job (largest finish tag,
+        # 1/0.25 = 4.0) is the only fitting entry.
+        assert policy.pop_fitting(
+            self._fits_by_label("lite")
+        ).label == "lite"
+        assert policy.backfills == 1
+        assert policy._vtime == pytest.approx(4.0)
+        # A tenant arriving after the backfill starts from the advanced
+        # vtime, not from zero.
+        policy.push(_submission("late", 1.0, tenant="newcomer"))
+        entries = sorted(policy._heap)
+        tags = {entry[-1].label: entry[0] for entry in entries}
+        assert tags["late"] == pytest.approx(5.0)
+
+    def test_wfq_head_fit_pops_in_key_order(self):
+        policy = make_admission("wfq")
+        policy.push(_submission("h1", 0.0, tenant="heavy"))
+        policy.push(_submission("l1", 0.0, tenant="light", weight=2.0))
+        assert policy.pop_fitting(lambda sub: True).label == "l1"
+        assert policy.backfills == 0
 
 
 class TestBackfillAdmission:

@@ -34,6 +34,7 @@ import pytest
 from repro.cluster.admission import ADMISSIONS
 from repro.cluster.autoscale import AUTOSCALERS, QueueDepthAutoscale
 from repro.cluster.contention import ContentionModel
+from repro.cluster.fabric import FABRICS, NETWORK_FAULTS
 from repro.cluster.failures import FAILURES, RandomFailures
 from repro.cluster.fleet import FleetTicker
 from repro.cluster.manager import Manager
@@ -88,6 +89,7 @@ def _run_checked(
     admission="fifo",
     autoscale=None,
     failures=None,
+    fabric=None,
     fleet_mode=None,
 ) -> dict[str, str]:
     """Run one fuzz case, asserting invariants; return label → repr(t_f).
@@ -130,6 +132,7 @@ def _run_checked(
         admission=admission,
         autoscale=autoscale,
         failures=failures,
+        fabric=fabric,
         worker_factory=factory,
     )
     finished: list[tuple[str, float]] = []
@@ -218,6 +221,10 @@ def _run_checked(
         | manager.crashed_workers
     )
     for label, *_ in jobs:
+        if label in manager.failed and label not in manager.placements:
+            # A job whose placement messages never got through has no
+            # placement record — there was never a launch to record.
+            continue
         assert manager.placement_of(label).worker_name in names
     # The fleet timeline is monotone in time and ends at the live count.
     times = [t for t, _ in manager.fleet_timeline]
@@ -228,6 +235,8 @@ def _run_checked(
         result[f"failed:{label}"] = repr((used, lost))
     for label, used in manager.retries.items():
         result[f"retries:{label}"] = repr(used)
+    for key, value in sorted(manager.fabric.stats().items()):
+        result[f"fabric:{key}"] = repr(value)
     # Bit-exact digest of every recorded series: the serial vs fused
     # comparison must not lose or perturb a single sample.
     for recorder in recorders:
@@ -379,6 +388,117 @@ def test_chaos_composes_with_autoscale(seed):
     assert run() == run()
 
 
+#: Network fault plans fuzzed against the policy matrix: plain loss,
+#: loss + latency + duplication under tight retries, a healing
+#: partition, and a never-healing gray link to the first worker (the
+#: harness always names it ``w0``).
+_FABRIC_PLANS = [
+    "drop(0.25)",
+    "delay(exp,0.3)+duplicate(0.5):retry(max=6,base=0.2)",
+    "partition(20..60):retry(max=8,base=0.5)",
+    "gray_link(w0,4.0)",
+]
+
+
+class TestFabricChaosInvariants:
+    """Network fault plans × the policy matrix (satellite a).
+
+    Every run asserts the same conservation invariants as the rest of
+    the harness — exactly-once-or-failed accounting, queue drain, no
+    leaked reservations — now under dropped, delayed, duplicated and
+    partitioned control-plane messages, alone and composed with worker
+    crashes, both durabilities, admission/placement/rebalance/autoscale
+    churn.  Repeats are bit-identical, fabric counters included.
+    """
+
+    @pytest.mark.parametrize("plan", _FABRIC_PLANS)
+    @pytest.mark.parametrize("admission", ["fifo", "wfq"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fault_plan_matrix(self, plan, admission, seed):
+        first = _run_checked(
+            seed, "spread", "none", admission=admission, fabric=plan
+        )
+        second = _run_checked(
+            seed, "spread", "none", admission=admission, fabric=plan
+        )
+        assert first == second
+
+    @pytest.mark.parametrize("plan", _FABRIC_PLANS)
+    @pytest.mark.parametrize("placement", sorted(PLACEMENTS))
+    @pytest.mark.parametrize("seed", [2])
+    def test_fault_plan_placement_axis(self, plan, placement, seed):
+        first = _run_checked(seed, placement, "none", fabric=plan)
+        second = _run_checked(seed, placement, "none", fabric=plan)
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "failures", ["random", "random:checkpoint", "random:checkpoint(20)"]
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_composes_with_worker_crashes(self, failures, seed):
+        """Message faults and node crashes at once: epoch-stamped
+        reservations keep a crash from leaking slots reserved by
+        in-flight messages, under both durability models."""
+        plan = "drop(0.2)+duplicate(0.3)"
+        first = _run_checked(
+            seed, "spread", "none", failures=failures, fabric=plan
+        )
+        second = _run_checked(
+            seed, "spread", "none", failures=failures, fabric=plan
+        )
+        assert first == second
+
+    @pytest.mark.parametrize("seed", [3, 5])
+    def test_composes_with_autoscale_and_rebalance(self, seed):
+        """Partitioned provisions/retires plus lossy migration legs:
+        undeliverable attach messages resolve through the orphan path,
+        never stranding a container or a reservation."""
+        def run():
+            return _run_checked(
+                seed,
+                "spread",
+                ProgressAwareRebalance(migration_delay=2.0),
+                admission="sjf",
+                autoscale=QueueDepthAutoscale(
+                    up_threshold=2, provision_delay=5.0, cooldown=0.0
+                ),
+                fabric="partition(20..60)+drop(0.1):retry(max=8,base=0.5)",
+            )
+
+        assert run() == run()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_duplicate_storm_is_idempotent(self, seed):
+        """duplicate(1.0) doubles every delivery; receiver-side dedup
+        must make the run indistinguishable in *accounting* (the
+        counters differ, so compare the completion/failure keys)."""
+        dup = _run_checked(
+            seed, "spread", "none",
+            fabric="duplicate(1.0):retry(max=4,base=0.2)",
+        )
+        clean = _run_checked(
+            seed, "spread", "none",
+            fabric="delay(const,0.0):retry(max=4,base=0.2)",
+        )
+        strip = lambda r: {  # noqa: E731
+            k: v for k, v in r.items() if not k.startswith("fabric:")
+        }
+        assert strip(dup) == strip(clean)
+        assert dup["fabric:duplicates_suppressed"] != repr(0.0)
+
+    @pytest.mark.parametrize("seed", [4])
+    def test_fleet_mode_parity_under_faults(self, seed):
+        """The fused tick engine composes with MESSAGE events."""
+        plan = "drop(0.2)+delay(exp,0.2)"
+        serial = _run_checked(
+            seed, "spread", "none", fabric=plan, fleet_mode=False
+        )
+        fused = _run_checked(
+            seed, "spread", "none", fabric=plan, fleet_mode=True
+        )
+        assert serial == fused
+
+
 class TestFleetModeParity:
     """The fused fleet-tick engine vs the serial oracle, fuzzed.
 
@@ -522,6 +642,7 @@ def _run_streaming_checked(
     admission="wfq",
     autoscale=None,
     failures=None,
+    fabric=None,
     fleet_mode=False,
     family="diurnal",
     n_jobs=24,
@@ -571,6 +692,7 @@ def _run_streaming_checked(
         admission=admission,
         autoscale=autoscale,
         failures=failures,
+        fabric=fabric,
         worker_factory=factory,
         stream_sink=sink,
     )
@@ -678,6 +800,8 @@ def _run_streaming_checked(
         result[f"failed:{label}"] = repr((used, lost))
     for label, used in manager.retries.items():
         result[f"retries:{label}"] = repr(used)
+    for key, value in sorted(manager.fabric.stats().items()):
+        result[f"fabric:{key}"] = repr(value)
     return result, {"peak": peak, "peak_slots": peak_slots}
 
 
@@ -759,6 +883,27 @@ class TestStreamingMatrixInvariants:
             seed, "spread", "none", fleet_mode=True
         )
         assert serial == fused
+
+    @pytest.mark.parametrize(
+        "fabric",
+        [
+            "drop(0.2)",
+            "delay(exp,0.3)+duplicate(0.5):retry(max=6,base=0.2)",
+            "partition(20..60):retry(max=8,base=0.5)",
+        ],
+    )
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_fabric_axis(self, fabric, seed):
+        """Message faults against a lazy stream: exactly-once-or-failed
+        accounting holds, sketches stay deterministic, and completed
+        jobs still leave no bookkeeping behind."""
+        first, _ = _run_streaming_checked(
+            seed, "spread", "none", fabric=fabric, family="poisson"
+        )
+        second, _ = _run_streaming_checked(
+            seed, "spread", "none", fabric=fabric, family="poisson"
+        )
+        assert first == second
 
     @pytest.mark.parametrize("seed", [3])
     def test_composed_axes(self, seed):
@@ -895,4 +1040,8 @@ def test_registries_are_fully_covered():
     assert sorted(AUTOSCALERS) == ["none", "progress", "queue_depth"]
     assert sorted(FAILURES) == [
         "az_outage", "none", "random", "rolling", "slow",
+    ]
+    assert sorted(FABRICS) == ["faulty", "ideal"]
+    assert sorted(NETWORK_FAULTS) == [
+        "delay", "drop", "duplicate", "gray_link", "partition",
     ]

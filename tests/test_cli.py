@@ -72,6 +72,18 @@ class TestParser:
         )
         assert args.failures == "az_outage"
 
+    def test_fabric_spec_parses(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.fabric == "ideal"
+        args = build_parser().parse_args(
+            ["compare", "--fabric", "partition(30..90):retry(max=5,base=0.5)"]
+        )
+        assert args.fabric == "partition(30..90):retry(max=5,base=0.5)"
+        args = build_parser().parse_args(
+            ["sweep", "--fabric", "drop(0.05)+delay(exp,0.2)"]
+        )
+        assert args.fabric == "drop(0.05)+delay(exp,0.2)"
+
     def test_tenant_weights_parse(self):
         args = build_parser().parse_args(
             ["compare", "--tenant-weights", "interactive=4", "batch=1"]
@@ -165,6 +177,26 @@ class TestCommands:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "meteor-strike" in err and "'rolling'" in err
+
+    def test_unknown_fabric_spec_is_a_clean_cli_error(self, capsys):
+        # --fabric is a free-form fault-plan expression, so validation
+        # happens in the run path and must surface as a clean exit-2
+        # error naming the registries, not a traceback.
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1",
+            "--fabric", "carrier-pigeon",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "carrier-pigeon" in err and "'partition'" in err
+
+    def test_compare_with_fabric(self, capsys):
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1", "--workers", "2",
+            "--fabric", "drop(0.2)+delay(const,0.05):retry(max=6,base=0.3)",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fabric:" in out and "resends" in out
 
     def test_compare_with_failures(self, capsys):
         assert main([

@@ -87,3 +87,12 @@ class TestSchedulingPolicyFields:
         SimulationConfig(autoscale="queue_depth")
         with pytest.raises(ConfigError):
             SimulationConfig(autoscale="manual")
+
+    def test_fabric_default_and_validation(self):
+        assert SimulationConfig().fabric == "ideal"
+        SimulationConfig(fabric="partition(25..55):retry(max=8,base=0.5)")
+        SimulationConfig(fabric="drop(0.05)+delay(exp,0.2):noretry")
+        with pytest.raises(ConfigError):
+            SimulationConfig(fabric="carrier-pigeon")
+        with pytest.raises(ConfigError):
+            SimulationConfig(fabric="drop(1.5)")
