@@ -50,8 +50,19 @@ _RSS_ALLOWANCE_MIB = 24.0
 
 
 def _rss_mib() -> float:
-    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    """Peak RSS in MiB (``ru_maxrss`` is KiB on Linux), pool-aware.
+
+    A sharded run (``SimulationConfig(shards=N)``) does its kernel
+    arithmetic in ProcessPoolExecutor children, whose memory never
+    shows up in ``RUSAGE_SELF`` — a parent-only reading would let a
+    per-job leak hide out of process.  ``RUSAGE_CHILDREN`` is the
+    reaped children's high-water mark, so the max of the two covers
+    both execution modes.
+    """
+    return max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    ) / 1024.0
 
 
 def _day_run(n_jobs: int, *, streaming: bool = True, seed: int = 0):

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Sharded fleet: parallel worker shards between manager touchpoints.
+
+The fused fleet-tick engine (``fleet_mode=True``) already coalesces
+same-instant sampling ticks into one vectorized pass.
+``SimulationConfig(shards=N)`` goes one step further: each fused batch
+is partitioned into N contiguous worker shards that advance their
+worker-local events — settlement, reallocation, exit projection,
+sampling — independently inside a conservative lookahead window (the
+gap to the next manager-bound event), with the pure numeric kernels
+eligible for a process pool on wide arenas.  The result is pinned
+bit-identical to the serial engine: same completion times, same event
+count, same digests.
+
+This example runs the ``two_thousand_job`` Poisson stream (trimmed to
+600 arrivals so the demo stays quick) serially, fused, and sharded at
+shards=4, verifies the three runs are indistinguishable, and reports
+each run's throughput.
+
+Run:
+    python examples/sharded_fleet.py
+"""
+
+import time
+
+from repro.baselines.na import NAPolicy
+from repro.cluster.contention import ContentionModel
+from repro.config import SimulationConfig
+from repro.experiments.report import render_header, render_table
+from repro.experiments.runner import run_cluster
+from repro.experiments.scenarios import two_thousand_job
+
+
+def run(fleet_mode: bool, shards: int = 1):
+    scenario = two_thousand_job(seed=42, n_jobs=600)
+    config = SimulationConfig(
+        seed=42,
+        trace=False,
+        fleet_mode=fleet_mode,
+        shards=shards,
+        contention=ContentionModel.ideal(),
+        sample_interval=2.0,
+    )
+    t0 = time.perf_counter()
+    result = run_cluster(
+        list(scenario.specs),
+        NAPolicy,
+        config,
+        capacities=scenario.capacities,
+        max_containers=scenario.max_containers,
+        placement="spread",
+    )
+    return result, time.perf_counter() - t0
+
+
+def main() -> None:
+    serial, serial_s = run(fleet_mode=False)
+    fused, fused_s = run(fleet_mode=True)
+    sharded, sharded_s = run(fleet_mode=True, shards=4)
+
+    serial_times = serial.completion_times()
+    assert fused.completion_times() == serial_times
+    assert sharded.completion_times() == serial_times, (
+        "the sharded executor must be bit-identical to serial"
+    )
+    assert sharded.sim.events_processed == serial.sim.events_processed
+
+    print(render_header("600-job Poisson stream on 64 one-slot workers"))
+    rows = [
+        [
+            label,
+            result.sim.events_processed,
+            f"{elapsed:.2f}",
+            round(result.sim.events_processed / elapsed),
+        ]
+        for label, result, elapsed in [
+            ("serial (fleet_mode=False)", serial, serial_s),
+            ("fused (fleet_mode=True)", fused, fused_s),
+            ("sharded (shards=4)", sharded, sharded_s),
+        ]
+    ]
+    print(render_table(["run", "events", "wall (s)", "events/s"], rows))
+
+    makespan = max(serial_times.values())
+    print(
+        f"\n{len(serial_times)} jobs completed, makespan "
+        f"{makespan:.1f} simulated seconds; all three runs produced "
+        "identical completion times and event counts."
+    )
+    print(
+        "\nOn this 64×1-slot fleet the arena stays below the executor's "
+        "IPC break-even (min_parallel_rows), so the kernels run in "
+        "process and the speedup over serial is the fused arena pass "
+        "the executor inherits; wider fleets engage the process pool."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -254,6 +254,8 @@ def _cmd_compare(args) -> int:
     sim_cfg = SimulationConfig(
         seed=args.seed, trace=False,
         streaming_metrics=args.streaming_metrics,
+        fleet_mode=args.fleet_mode,
+        shards=args.shards,
     )
     fc_cfg = FlowConConfig(alpha=args.alpha, itval=args.itval)
     cluster = dict(
@@ -384,7 +386,10 @@ def _cmd_sweep(args) -> int:
         fixed_three_job(),
         alphas=args.alphas,
         itvals=args.itvals,
-        sim_config=SimulationConfig(seed=args.seed, trace=False),
+        sim_config=SimulationConfig(
+            seed=args.seed, trace=False,
+            fleet_mode=args.fleet_mode, shards=args.shards,
+        ),
         n_workers=args.workers,
         placement=args.placement,
         rebalance=args.rebalance,
@@ -476,6 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "random mix; any other choice builds a lazy "
                             "arrival stream from the generator family "
                             "(diurnal, flash_crowd, pareto_mix, poisson)")
+    p_cmp.add_argument("--fleet-mode", action="store_true",
+                       help="fuse same-instant sampling ticks into one "
+                            "packed fleet pass (bit-identical; required "
+                            "by --shards > 1)")
+    p_cmp.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="worker-shard count for single-run parallel "
+                            "execution between manager touchpoints "
+                            "(bit-identical; N > 1 requires --fleet-mode)")
     p_cmp.add_argument("--streaming-metrics", action="store_true",
                        help="record sketch-based bounded-memory aggregates "
                             "(p50/p95/p99, rolling throughput) instead of "
@@ -513,6 +526,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--fabric", default="ideal", metavar="SPEC",
                          help="control-plane fabric spec (e.g. ideal, "
                               "\"partition(30..90):retry(max=5,base=0.5)\")")
+    p_sweep.add_argument("--fleet-mode", action="store_true",
+                         help="fuse same-instant sampling ticks into one "
+                              "packed fleet pass (bit-identical; required "
+                              "by --shards > 1)")
+    p_sweep.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="worker-shard count for single-run parallel "
+                              "execution (bit-identical; N > 1 requires "
+                              "--fleet-mode)")
     p_sweep.add_argument("--profile", action="store_true",
                          help="run under cProfile and dump the top 25 "
                               "cumulative-time functions to stderr")
@@ -521,6 +542,20 @@ def build_parser() -> argparse.ArgumentParser:
         "validate",
         help="re-check every EXPERIMENTS.md shape claim",
     )
+
+    p_rep = sub.add_parser(
+        "bench-report",
+        help="render the BENCH_*.json trajectory as one "
+             "throughput-over-PRs table",
+    )
+    p_rep.add_argument("--dir", default="benchmarks",
+                       help="directory holding BENCH_*.json snapshots "
+                            "(default: benchmarks)")
+    p_rep.add_argument("--filter", default=None, metavar="SUBSTR",
+                       help="keep only benchmarks whose name contains "
+                            "SUBSTR (case-insensitive), e.g. perf")
+    p_rep.add_argument("--last", type=int, default=None, metavar="N",
+                       help="keep only the newest N snapshots")
 
     return parser
 
@@ -542,6 +577,24 @@ def _cmd_validate(_args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench_report(args) -> int:
+    from repro.experiments.benchreport import load_trajectory, trajectory_table
+
+    points = load_trajectory(args.dir)
+    headers, rows = trajectory_table(
+        points, pattern=args.filter, last=args.last
+    )
+    shown = len(headers) - 1
+    print(render_header(
+        f"Benchmark trajectory — {shown} snapshot"
+        f"{'s' if shown != 1 else ''}, mean throughput (runs/s)"
+    ))
+    print(render_table(headers, rows))
+    print(f"\n{len(rows)} benchmark(s); newest snapshot last; "
+          f"— means the benchmark did not run in that snapshot")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "fig": _cmd_fig,
@@ -550,6 +603,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "validate": _cmd_validate,
+    "bench-report": _cmd_bench_report,
 }
 
 

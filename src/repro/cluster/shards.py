@@ -1,0 +1,435 @@
+"""Sharded single-run execution: worker shards between manager touchpoints.
+
+The paper's §3.1 loop runs independently per worker, and by now every
+piece of this reproduction reflects that: worker state is worker-local
+(observation bus), the fleet tick is one fused pass over a packed
+``(worker, container)`` arena (:mod:`repro.cluster.fleet`), and every
+manager↔worker interaction is an enumerable typed message
+(:mod:`repro.cluster.fabric`).  The :class:`ShardedExecutor` completes
+ROADMAP open item 1's remaining half: it partitions the fleet into N
+**shards** and advances each shard's worker-local events — settlement,
+reallocation, exit projection, sampling — as an independent slice of the
+fused arena, optionally farming the pure numeric kernels out to a
+:class:`~concurrent.futures.ProcessPoolExecutor` so one simulation can
+use more than one core.
+
+Conservative lookahead window
+-----------------------------
+Classic conservative PDES: a shard may only run ahead while no event
+from outside the shard can influence it.  Worker-local kinds
+(``METRIC_SAMPLE``, ``SCHEDULER_TICK``, ``LISTENER_POLL``) touch exactly
+one worker's state; everything else — the event forms of the fabric's
+:data:`~repro.cluster.fabric.MSG_KINDS` (place → ``JOB_ARRIVAL`` /
+``MESSAGE``, exit notification → ``CONTAINER_EXIT`` / ``MESSAGE``, the
+detach/attach migration legs → ``CONTAINER_MIGRATION`` / ``MESSAGE``,
+provision/retire → ``WORKER_PROVISION`` / ``MESSAGE``, fail/recover →
+``WORKER_FAIL`` / ``WORKER_RECOVER`` / ``MESSAGE``) plus ``GENERIC``
+(unknown, so assumed coupling) — is **manager-bound**: it can move
+containers across shard boundaries.  The window boundary is therefore
+``min(next queued manager-bound event, horizon)``, found by the engine's
+:meth:`~repro.simcore.engine.Simulator.next_time_of` window hook.  The
+executor re-derives the boundary at every fused batch and never commits
+work past the current instant, so the window is purely a *dispatch*
+signal (whether parallel offload can amortize) — correctness never
+depends on its width.  Rescheduled ``CONTAINER_EXIT`` events are
+themselves manager-bound, so a reallocation that pulls an exit earlier
+always pulls the boundary with it.
+
+Bit-identity
+------------
+The sharded pass must match the serial engine bit for bit — completion
+times, digests, ``events_processed``.  Two properties make that hold:
+
+* **Per-worker state independence at sampling instants** (the fleet
+  module's invariant): settle/reallocate/sample touch only their own
+  worker's state and RNG stream, so *which shard* computes a worker is
+  unobservable.
+* **Contiguous shards, applied in order.**  Shards are contiguous
+  slices of the batch's worker list (event pop order), and every
+  stateful apply — exit reschedules in ``_finish_packed``, next-tick
+  pushes in ``fleet_sample`` — runs shard by shard in slice order, so
+  the global sequence of event pushes (the heap tie-break) is exactly
+  the fused pass's, which is itself pinned bit-identical to serial.
+  Only the *pure* kernels (packed settlement arithmetic, grouped
+  water-fill allocation) run out of process; a forked worker computes
+  the same element-wise IEEE operations on the same arrays, so equal
+  inputs yield equal bits.
+
+Parallelism is profitable only when the arena is wide; below
+``min_parallel_rows`` (or with ``shards=1``, or a zero-width window, or
+a pool that cannot be spawned) the executor falls back to the serial
+in-process path, which is the same code the plain
+:class:`~repro.cluster.fleet.FleetTicker` runs per shard.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.cluster.fleet import (
+    FleetTicker,
+    _alloc_payload,
+    _alloc_pending,
+    _finish_packed,
+    _realloc_collect,
+    _settle_apply,
+    _settle_collect,
+    _settle_payload,
+    alloc_kernel,
+    fleet_reallocate,
+    fleet_sample,
+    fleet_sample_streaming,
+    fleet_settle,
+    settle_kernel,
+)
+from repro.cluster.worker import Worker
+from repro.errors import ConfigError
+from repro.metrics.recorder import MetricsRecorder
+from repro.simcore.engine import Simulator
+from repro.simcore.events import Event, EventKind
+
+__all__ = [
+    "MANAGER_TOUCHPOINTS",
+    "WORKER_LOCAL_KINDS",
+    "ShardedExecutor",
+]
+
+#: Event kinds that touch exactly one worker's state — safe to advance
+#: inside a shard without observing the rest of the fleet.
+WORKER_LOCAL_KINDS = frozenset(
+    {
+        EventKind.METRIC_SAMPLE,
+        EventKind.SCHEDULER_TICK,
+        EventKind.LISTENER_POLL,
+    }
+)
+
+#: Every event kind that can carry a manager touchpoint — the event
+#: forms of the fabric's MSG_KINDS (place, exit, detach/attach,
+#: provision/retire, fail/recover all ride these) plus GENERIC, which is
+#: unknown and therefore conservatively assumed to couple shards.  The
+#: complement of WORKER_LOCAL_KINDS by construction: a new event kind is
+#: a shard boundary until proven worker-local.
+MANAGER_TOUCHPOINTS = frozenset(EventKind) - WORKER_LOCAL_KINDS
+
+
+def _shard_slices(n_items: int, shards: int) -> list[slice]:
+    """Contiguous, balanced slices: first ``n % shards`` get the extra."""
+    shards = min(shards, n_items)
+    base, extra = divmod(n_items, shards)
+    slices = []
+    start = 0
+    for i in range(shards):
+        end = start + base + (1 if i < extra else 0)
+        slices.append(slice(start, end))
+        start = end
+    return slices
+
+
+def _shard_kernels(task: dict) -> dict:
+    """Run one shard's pure kernels (executes in a pool worker).
+
+    The task carries only plain data (float64 arrays, enum members,
+    floats); the result likewise.  State application stays in the
+    parent, in shard order.
+    """
+    out: dict = {}
+    settle = task.get("settle")
+    if settle is not None:
+        out["settle"] = settle_kernel(settle)
+    alloc = task.get("alloc")
+    if alloc is not None:
+        out["alloc"] = alloc_kernel(alloc)
+    return out
+
+
+class ShardedExecutor(FleetTicker):
+    """Advance worker shards concurrently between manager touchpoints.
+
+    A drop-in replacement for :class:`~repro.cluster.fleet.FleetTicker`
+    armed by the runner when ``SimulationConfig(shards=N)`` with
+    ``N > 1``: the same METRIC_SAMPLE batcher, but each fused batch is
+    partitioned into up to *shards* contiguous worker slices whose
+    settle/reallocate kernels can run on a process pool inside the
+    conservative lookahead window.  Bit-identical to both the fused and
+    the serial engines (see the module docstring for why).
+
+    Parameters
+    ----------
+    sim:
+        The simulator to arm against.
+    shards:
+        Target shard count (≥ 1; 1 degenerates to the plain ticker).
+    min_parallel_rows:
+        Arena width (total active containers in the batch) below which
+        the pool is never engaged — IPC costs more than it saves on
+        narrow fleets.  ``0`` forces the pool path (tests).
+    min_window:
+        Minimum conservative-window width (seconds) required to dispatch
+        to the pool; a batch whose boundary is at the current instant
+        runs in process.
+    horizon:
+        Optional simulation horizon, folded into the window boundary.
+    max_procs:
+        Pool size cap; defaults to ``min(shards, os.cpu_count())``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shards: int = 2,
+        *,
+        min_parallel_rows: int = 4096,
+        min_window: float = 0.0,
+        horizon: float | None = None,
+        max_procs: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards!r}")
+        super().__init__(sim)
+        self.shards = int(shards)
+        self.min_parallel_rows = int(min_parallel_rows)
+        self.min_window = float(min_window)
+        self.horizon = horizon
+        self._max_procs = max_procs
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+        #: Conservative windows derived (one per fused batch).
+        self.windows = 0
+        #: Sum of finite window widths (seconds).
+        self.window_time = 0.0
+        #: Widest finite window seen.
+        self.max_window = 0.0
+        #: Batches with no queued manager-bound event and no horizon.
+        self.unbounded_windows = 0
+        #: Fused batches that ran the multi-shard path.
+        self.shard_passes = 0
+        #: Pool round-trips actually dispatched.
+        self.pool_dispatches = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def disarm(self) -> None:
+        """Unregister the batcher and release the process pool."""
+        super().disarm()
+        self.close()
+
+    def close(self) -> None:
+        """Shut the process pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool_broken:
+            return None
+        if self._pool is None:
+            procs = self._max_procs or min(
+                self.shards, os.cpu_count() or 1
+            )
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=procs)
+            except (OSError, ValueError):  # pragma: no cover - env-specific
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    # -- window ------------------------------------------------------------
+
+    def lookahead(self) -> float | None:
+        """The conservative window boundary: next manager-bound event.
+
+        ``min`` of the earliest queued manager-bound event and the
+        horizon; ``None`` when neither exists (the run is draining
+        worker-local events only).
+        """
+        boundary = self.sim.next_time_of(MANAGER_TOUCHPOINTS)
+        horizon = self.horizon
+        if horizon is not None and (boundary is None or horizon < boundary):
+            boundary = horizon
+        return boundary
+
+    def _observe_window(self) -> float:
+        """Derive this batch's window width, maintaining the stats."""
+        self.windows += 1
+        boundary = self.lookahead()
+        if boundary is None:
+            self.unbounded_windows += 1
+            return float("inf")
+        width = boundary - self.sim.now
+        if width < 0.0:
+            width = 0.0
+        self.window_time += width
+        if width > self.max_window:
+            self.max_window = width
+        return width
+
+    # -- the batch ---------------------------------------------------------
+
+    def _on_batch(self, events: list[Event]) -> None:
+        self.batched_events += len(events)
+        fused: set[int] = set()
+        recorders: list[MetricsRecorder] = []
+        workers: list[Worker] = []
+        seen: set[int] = set()
+        for ev in events:
+            recorder = ev.payload
+            if isinstance(recorder, MetricsRecorder) and recorder._started:
+                recorders.append(recorder)
+                worker = recorder.worker
+                if id(worker) not in seen:
+                    seen.add(id(worker))
+                    workers.append(worker)
+        if len(workers) > 1:
+            self.fused_batches += 1
+            width = self._observe_window()
+            self._advance_shards(workers, recorders, width)
+            fused = {id(r) for r in recorders}
+        for ev in events:
+            if fused and id(ev.payload) in fused:
+                continue
+            ev.fire()
+
+    def _advance_shards(
+        self,
+        workers: list[Worker],
+        recorders: list[MetricsRecorder],
+        width: float,
+    ) -> None:
+        n = min(self.shards, len(workers))
+        if n <= 1:
+            fleet_settle(workers)
+            fleet_reallocate(workers)
+        else:
+            self.shard_passes += 1
+            shards_w = [workers[sl] for sl in _shard_slices(len(workers), n)]
+            if not self._pooled_advance(shards_w, width):
+                # Serial in-process path: the same fleet passes, one
+                # contiguous slice at a time, applied in slice order —
+                # settle pushes nothing and reallocation pushes exits
+                # per worker, so the global push order matches the
+                # one-big-pass fused ticker exactly.
+                for ws in shards_w:
+                    fleet_settle(ws)
+                for ws in shards_w:
+                    fleet_reallocate(ws)
+        # Sampling fires last (and pushes each recorder's next tick), so
+        # it stays in process: the window means are one subtract-divide
+        # over rows already in cache, far below any IPC break-even.
+        # Dense before streaming, shards in order — the fused ticker's
+        # recorder order, hence the serial engine's push order.
+        dense = [r for r in recorders if not r.streaming]
+        streaming = [r for r in recorders if r.streaming]
+        if dense:
+            for sl in _shard_slices(len(dense), n):
+                self.fused_samples += fleet_sample(
+                    dense[sl], self._win_cache, self._static_cache
+                )
+        if streaming:
+            for sl in _shard_slices(len(streaming), n):
+                self.fused_samples += fleet_sample_streaming(streaming[sl])
+
+    def _pooled_advance(
+        self, shards_w: list[list[Worker]], width: float
+    ) -> bool:
+        """Run the shard kernels on the process pool; ``True`` on success.
+
+        Dispatch requires a window wider than ``min_window`` (a
+        manager-bound event at this very instant means the batch is
+        about to be interrupted anyway) and an arena of at least
+        ``min_parallel_rows`` active containers.  Collection (RNG
+        draws, footprint reads) and application (state writes, event
+        pushes) always run in the parent, shard by shard in order; only
+        the pure kernels travel.
+        """
+        if not width > self.min_window:
+            return False
+        rows = sum(len(w._active) for ws in shards_w for w in ws)
+        if rows < self.min_parallel_rows:
+            return False
+        pool = self._ensure_pool()
+        if pool is None:
+            return False
+        # Collect both phases up front (settlement writes job progress
+        # and cgroup integrals, which reallocation *collection* never
+        # reads — only _finish_packed's remaining-work projection does,
+        # and that applies after the settle rows land below).
+        settles = [_settle_collect(ws) for ws in shards_w]
+        reallocs = [_realloc_collect(ws) for ws in shards_w]
+        tasks: list[dict] = []
+        inline_allocs: list[bool] = []
+        for (_, segments), (_, pending) in zip(settles, reallocs):
+            task: dict = {}
+            if len(segments) > 1:
+                task["settle"] = _settle_payload(segments)
+            payload = _alloc_payload(pending) if pending else None
+            if payload is not None and len(pending) > 1:
+                task["alloc"] = payload
+            inline_allocs.append("alloc" not in task)
+            tasks.append(task)
+        try:
+            results = list(pool.map(_shard_kernels, tasks))
+            self.pool_dispatches += 1
+        except Exception:  # pragma: no cover - spawn/IPC failure paths
+            # BrokenProcessPool, fork failure in a restricted sandbox …
+            # the kernels are pure, so recomputing inline is exact.
+            self._pool_broken = True
+            self.close()
+            results = [_shard_kernels(task) for task in tasks]
+        for (now, segments), res in zip(settles, results):
+            if not segments:
+                continue
+            if len(segments) == 1:
+                segments[0][0].settle()
+                continue
+            work, contrib = res["settle"]
+            _settle_apply(now, segments, work.tolist(), contrib)
+        for (now, pending), res, inline in zip(
+            reallocs, results, inline_allocs
+        ):
+            if not pending:
+                continue
+            allocs = _alloc_pending(pending) if inline else res["alloc"]
+            _finish_packed(now, pending, allocs)
+        return True
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Executor counters for tests, benches and reports."""
+        return {
+            "shards": self.shards,
+            "fused_batches": self.fused_batches,
+            "batched_events": self.batched_events,
+            "fused_samples": self.fused_samples,
+            "windows": self.windows,
+            "unbounded_windows": self.unbounded_windows,
+            "mean_window": (
+                self.window_time / (self.windows - self.unbounded_windows)
+                if self.windows > self.unbounded_windows
+                else 0.0
+            ),
+            "max_window": self.max_window,
+            "shard_passes": self.shard_passes,
+            "pool_dispatches": self.pool_dispatches,
+        }
+
+    @staticmethod
+    def child_peak_rss_mib() -> float:
+        """Peak RSS over reaped child processes (pool workers), in MiB.
+
+        ``getrusage(RUSAGE_CHILDREN)`` is the only portable view of a
+        pool worker's memory high-water mark; a parent-only
+        ``RUSAGE_SELF`` reading silently misses everything a sharded
+        run allocates out of process (see ``bench_perf_million.py``).
+        """
+        return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedExecutor(shards={self.shards}, "
+            f"batches={self.fused_batches}, passes={self.shard_passes}, "
+            f"pool={self.pool_dispatches})"
+        )

@@ -1,0 +1,385 @@
+"""Unit tests for the sharded executor (:mod:`repro.cluster.shards`).
+
+The contracts under test:
+
+* **Kind partition** — WORKER_LOCAL_KINDS and MANAGER_TOUCHPOINTS split
+  :class:`EventKind` exactly, so a new kind is a shard boundary until
+  proven worker-local.
+* **Window hook** — ``Simulator.next_time_of`` reports the earliest
+  live queued event of the given kinds, skipping cancelled handles.
+* **Shard slicing** — contiguous, balanced, clamped to the item count.
+* **Bit-identity** — a sharded run (inline, forced-pool, and
+  broken-pool fallback) reproduces the plain :class:`FleetTicker`
+  bit for bit: same traces, same allocations, same event counts.
+* **Kernel purity** — the settle/alloc kernels are pure functions of
+  their payloads: repeat calls and the in-parent allocation path
+  produce the same bits, which is what makes pool offload exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import ContentionModel
+from repro.cluster.fleet import (
+    FleetTicker,
+    _alloc_payload,
+    _alloc_pending,
+    _realloc_collect,
+    _settle_collect,
+    _settle_payload,
+    alloc_kernel,
+    settle_kernel,
+)
+from repro.cluster.shards import (
+    MANAGER_TOUCHPOINTS,
+    WORKER_LOCAL_KINDS,
+    ShardedExecutor,
+    _shard_kernels,
+    _shard_slices,
+)
+from repro.cluster.worker import Worker
+from repro.errors import ConfigError
+from repro.metrics.recorder import MetricsRecorder
+from repro.simcore.engine import Simulator
+from repro.simcore.events import EventKind
+from tests.cluster.test_fleet import _alloc_state, _build_fleet, _settle_state
+from tests.conftest import make_linear_job
+
+
+class TestKindPartition:
+    def test_partition_is_exact(self):
+        assert WORKER_LOCAL_KINDS | MANAGER_TOUCHPOINTS == frozenset(EventKind)
+        assert not WORKER_LOCAL_KINDS & MANAGER_TOUCHPOINTS
+
+    def test_fabric_event_forms_are_touchpoints(self):
+        """Every event kind a fabric message can ride is a boundary."""
+        for kind in (
+            EventKind.JOB_ARRIVAL,
+            EventKind.CONTAINER_EXIT,
+            EventKind.CONTAINER_MIGRATION,
+            EventKind.WORKER_PROVISION,
+            EventKind.WORKER_FAIL,
+            EventKind.WORKER_RECOVER,
+            EventKind.MESSAGE,
+            EventKind.GENERIC,
+        ):
+            assert kind in MANAGER_TOUCHPOINTS
+
+
+class TestNextTimeOf:
+    def test_earliest_matching_kind_wins(self):
+        sim = Simulator(seed=0, trace=False)
+        sim.schedule(5.0, lambda ev: None, kind=EventKind.METRIC_SAMPLE)
+        sim.schedule(9.0, lambda ev: None, kind=EventKind.CONTAINER_EXIT)
+        sim.schedule(12.0, lambda ev: None, kind=EventKind.MESSAGE)
+        assert sim.next_time_of(MANAGER_TOUCHPOINTS) == 9.0
+        assert sim.next_time_of(WORKER_LOCAL_KINDS) == 5.0
+        assert sim.next_time_of({EventKind.MESSAGE}) == 12.0
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator(seed=0, trace=False)
+        handle = sim.schedule(
+            3.0, lambda ev: None, kind=EventKind.CONTAINER_EXIT
+        )
+        sim.schedule(7.0, lambda ev: None, kind=EventKind.CONTAINER_EXIT)
+        handle.cancel()
+        assert sim.next_time_of(MANAGER_TOUCHPOINTS) == 7.0
+
+    def test_no_match_is_none(self):
+        sim = Simulator(seed=0, trace=False)
+        assert sim.next_time_of(MANAGER_TOUCHPOINTS) is None
+        sim.schedule(2.0, lambda ev: None, kind=EventKind.METRIC_SAMPLE)
+        assert sim.next_time_of(MANAGER_TOUCHPOINTS) is None
+
+
+class TestShardSlices:
+    def test_contiguous_and_exhaustive(self):
+        for n_items in range(1, 12):
+            for shards in range(1, 6):
+                slices = _shard_slices(n_items, shards)
+                items = list(range(n_items))
+                covered = [x for sl in slices for x in items[sl]]
+                assert covered == items  # contiguous, in order, complete
+
+    def test_balanced_first_slices_take_the_extra(self):
+        assert _shard_slices(10, 3) == [
+            slice(0, 4), slice(4, 7), slice(7, 10)
+        ]
+
+    def test_clamped_to_item_count(self):
+        assert _shard_slices(2, 8) == [slice(0, 1), slice(1, 2)]
+
+
+class TestKernelPurity:
+    def _collected(self, seed=11):
+        sim, workers = _build_fleet(seed)
+        sim.clock.advance_to(4.0)
+        now, segments = _settle_collect(workers)
+        return sim, workers, now, segments
+
+    def test_settle_kernel_is_deterministic(self):
+        _, _, _, segments = self._collected()
+        payload = _settle_payload(segments)
+        work_a, contrib_a = settle_kernel(payload)
+        work_b, contrib_b = settle_kernel(payload)
+        assert work_a.tobytes() == work_b.tobytes()
+        assert contrib_a.tobytes() == contrib_b.tobytes()
+
+    def test_alloc_kernel_matches_in_parent_allocation(self):
+        """Fresh child-side allocators reproduce the parent's bits."""
+        sim, workers, _, _ = self._collected()
+        _, pending = _realloc_collect(workers)
+        assert pending
+        payload = _alloc_payload(pending)
+        assert payload is not None
+        want = [a.tolist() for a in _alloc_pending(pending)]
+        got = [a.tolist() for a in alloc_kernel(payload)]
+        assert got == want
+
+    def test_shard_kernels_round_trip(self):
+        """The pool-worker entry point: both kernels from one task dict."""
+        sim, workers, _, segments = self._collected()
+        _, pending = _realloc_collect(workers)
+        task = {
+            "settle": _settle_payload(segments),
+            "alloc": _alloc_payload(pending),
+        }
+        out = _shard_kernels(task)
+        assert set(out) == {"settle", "alloc"}
+        assert _shard_kernels({}) == {}
+
+
+def _sharded_fleet(
+    n_workers: int,
+    shards: int | None,
+    sample_interval: float = 5.0,
+    total_work: float = 10_000.0,
+    jobs_per_worker: int = 1,
+    streaming: bool = False,
+    **executor_kwargs,
+):
+    """A ticked fleet armed with either FleetTicker or ShardedExecutor."""
+    sim = Simulator(seed=0, trace=False)
+    workers = [
+        Worker(
+            sim,
+            name=f"w{i}",
+            contention=ContentionModel.ideal(),
+            max_containers=4,
+        )
+        for i in range(n_workers)
+    ]
+    for i, w in enumerate(workers):
+        for k in range(jobs_per_worker):
+            w.launch(
+                make_linear_job(
+                    f"w{i}-j{k}",
+                    total_work=total_work,
+                    demand=0.5 + 0.1 * ((i + k) % 5),
+                )
+            )
+    recorders = [
+        MetricsRecorder(w, sample_interval=sample_interval, streaming=streaming)
+        for w in workers
+    ]
+    for r in recorders:
+        r.start()
+    if shards is None:
+        ticker = FleetTicker(sim)
+    else:
+        ticker = ShardedExecutor(sim, shards=shards, **executor_kwargs)
+    ticker.arm()
+    return sim, workers, recorders, ticker
+
+
+def _trace_series(recorders):
+    out = {}
+    for r in recorders:
+        for trace in r.traces.values():
+            for name in ("cpu_usage", "cpu_limit", "eval_value", "growth"):
+                times, values = getattr(trace, name).arrays()
+                out[f"{r.worker.name}:{trace.label}:{name}"] = (
+                    times.tobytes(),
+                    values.tobytes(),
+                )
+    return out
+
+
+def _stop_all(*runs):
+    for run in runs:
+        for r in run[2]:
+            r.stop()
+        ticker = run[3]
+        if isinstance(ticker, ShardedExecutor):
+            ticker.close()
+
+
+class TestShardedExecutor:
+    def test_rejects_nonpositive_shards(self):
+        sim = Simulator(seed=0, trace=False)
+        with pytest.raises(ConfigError):
+            ShardedExecutor(sim, shards=0)
+
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_bitwise_parity_with_fleet_ticker(self, shards):
+        plain = _sharded_fleet(5, None, jobs_per_worker=2)
+        sharded = _sharded_fleet(5, shards, jobs_per_worker=2)
+        for sim, *_ in (plain, sharded):
+            sim.run(until=200.0)
+        assert _trace_series(plain[2]) == _trace_series(sharded[2])
+        assert _settle_state(plain[1]) == _settle_state(sharded[1])
+        assert _alloc_state(plain[1]) == _alloc_state(sharded[1])
+        assert plain[0].events_processed == sharded[0].events_processed
+        assert sharded[3].shard_passes > 0
+        _stop_all(plain, sharded)
+
+    def test_streaming_recorders_shard_identically(self):
+        plain = _sharded_fleet(4, None, streaming=True)
+        sharded = _sharded_fleet(4, 2, streaming=True)
+        for sim, *_ in (plain, sharded):
+            sim.run(until=100.0)
+        assert _settle_state(plain[1]) == _settle_state(sharded[1])
+        assert plain[0].events_processed == sharded[0].events_processed
+        assert sharded[3].fused_samples > 0
+        _stop_all(plain, sharded)
+
+    def test_shards_one_degenerates_to_plain_ticker(self):
+        plain = _sharded_fleet(3, None)
+        one = _sharded_fleet(3, 1)
+        for sim, *_ in (plain, one):
+            sim.run(until=60.0)
+        assert _trace_series(plain[2]) == _trace_series(one[2])
+        assert one[3].shard_passes == 0  # n<=1 path, no shard machinery
+        assert one[3].windows > 0  # window stats still observed
+        _stop_all(plain, one)
+
+    def test_single_worker_never_batches(self):
+        sim, workers, recorders, ticker = _sharded_fleet(1, 4)
+        sim.run(until=30.0)
+        assert ticker.fused_batches == 0  # lone ticks fire directly
+        assert ticker.windows == 0
+        _stop_all((sim, workers, recorders, ticker))
+
+    def test_forced_pool_parity_and_dispatch(self):
+        """min_parallel_rows=0 forces the pool path; bits still match."""
+        plain = _sharded_fleet(4, None, jobs_per_worker=2)
+        pooled = _sharded_fleet(
+            4, 2, jobs_per_worker=2, min_parallel_rows=0
+        )
+        for sim, *_ in (plain, pooled):
+            sim.run(until=120.0)
+        assert _trace_series(plain[2]) == _trace_series(pooled[2])
+        assert _settle_state(plain[1]) == _settle_state(pooled[1])
+        assert _alloc_state(plain[1]) == _alloc_state(pooled[1])
+        assert plain[0].events_processed == pooled[0].events_processed
+        assert pooled[3].pool_dispatches > 0
+        assert ShardedExecutor.child_peak_rss_mib() > 0.0
+        _stop_all(plain, pooled)
+
+    def test_forced_pool_singleton_shards_stay_inline(self):
+        """One worker per shard: settle/alloc take the in-parent
+        singleton paths even when the pool is engaged."""
+        plain = _sharded_fleet(3, None)
+        pooled = _sharded_fleet(3, 3, min_parallel_rows=0)
+        for sim, *_ in (plain, pooled):
+            sim.run(until=60.0)
+        assert _trace_series(plain[2]) == _trace_series(pooled[2])
+        assert _settle_state(plain[1]) == _settle_state(pooled[1])
+        assert pooled[3].pool_dispatches > 0
+        _stop_all(plain, pooled)
+
+    def test_broken_pool_falls_back_inline(self):
+        """A pool that cannot spawn degrades to the serial shard path."""
+        plain = _sharded_fleet(4, None)
+        broken = _sharded_fleet(4, 2, min_parallel_rows=0)
+        broken[3]._pool_broken = True
+        for sim, *_ in (plain, broken):
+            sim.run(until=60.0)
+        assert _trace_series(plain[2]) == _trace_series(broken[2])
+        assert broken[3].pool_dispatches == 0
+        assert broken[3].shard_passes > 0
+        _stop_all(plain, broken)
+
+    def test_min_window_gate_skips_dispatch(self):
+        """An instant-wide window never pays the IPC round trip."""
+        sim, workers, recorders, ticker = _sharded_fleet(
+            3, 2, min_parallel_rows=0, min_window=float("inf")
+        )
+        sim.run(until=60.0)
+        assert ticker.shard_passes > 0
+        assert ticker.pool_dispatches == 0
+        _stop_all((sim, workers, recorders, ticker))
+
+    def test_close_is_idempotent_and_disarm_closes(self):
+        sim, workers, recorders, ticker = _sharded_fleet(
+            2, 2, min_parallel_rows=0
+        )
+        sim.run(until=20.0)
+        assert ticker._pool is not None
+        ticker.close()
+        assert ticker._pool is None
+        ticker.close()  # second close is a no-op
+        sim.run(until=40.0)  # pool respawns lazily after close
+        assert ticker._pool is not None
+        ticker.disarm()
+        assert ticker._pool is None
+        for r in recorders:
+            r.stop()
+
+    def test_child_rss_is_nonnegative(self):
+        assert ShardedExecutor.child_peak_rss_mib() >= 0.0
+
+
+class TestWindowStats:
+    def test_bounded_windows_track_next_touchpoint(self):
+        """Exit projections are manager-bound, so windows stay finite."""
+        sim, workers, recorders, ticker = _sharded_fleet(
+            3, 2, total_work=200.0
+        )
+        sim.run(until=60.0)
+        stats = ticker.stats()
+        assert stats["windows"] > 0
+        assert stats["unbounded_windows"] < stats["windows"]
+        assert stats["mean_window"] > 0.0
+        assert stats["max_window"] >= stats["mean_window"]
+        _stop_all((sim, workers, recorders, ticker))
+
+    def test_unbounded_window_when_no_touchpoint_queued(self):
+        """Idle workers: only sampling ticks queued → no boundary."""
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            Worker(sim, name=f"w{i}", contention=ContentionModel.ideal())
+            for i in range(2)
+        ]
+        recorders = [MetricsRecorder(w, sample_interval=5.0) for w in workers]
+        for r in recorders:
+            r.start()
+        ticker = ShardedExecutor(sim, shards=2)
+        ticker.arm()
+        sim.run(until=20.0)
+        assert ticker.windows > 0
+        assert ticker.unbounded_windows == ticker.windows
+        assert ticker.stats()["mean_window"] == 0.0
+        for r in recorders:
+            r.stop()
+        ticker.close()
+
+    def test_horizon_bounds_the_window(self):
+        sim = Simulator(seed=0, trace=False)
+        workers = [
+            Worker(sim, name=f"w{i}", contention=ContentionModel.ideal())
+            for i in range(2)
+        ]
+        recorders = [MetricsRecorder(w, sample_interval=5.0) for w in workers]
+        for r in recorders:
+            r.start()
+        ticker = ShardedExecutor(sim, shards=2, horizon=100.0)
+        ticker.arm()
+        sim.run(until=20.0)
+        assert ticker.unbounded_windows == 0
+        assert ticker.max_window <= 100.0
+        assert ticker.lookahead() == 100.0
+        for r in recorders:
+            r.stop()
+        ticker.close()

@@ -1,0 +1,97 @@
+"""Unit tests for the benchmark-trajectory report (`repro bench-report`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.benchreport import (
+    BenchPoint,
+    load_trajectory,
+    trajectory_table,
+)
+
+
+def _snapshot(tmp_path, stamp: str, means: dict[str, float]) -> None:
+    (tmp_path / f"BENCH_{stamp}.json").write_text(json.dumps({
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ],
+    }))
+
+
+class TestLoadTrajectory:
+    def test_snapshots_load_in_filename_order(self, tmp_path):
+        # Written newest-first: filename order must win, not mtime.
+        _snapshot(tmp_path, "20260301-120000", {"b": 0.1})
+        _snapshot(tmp_path, "20260101-090000", {"a": 0.5})
+        points = load_trajectory(tmp_path)
+        assert [p.stamp for p in points] == ["0101-0900", "0301-1200"]
+        assert points[0].means == {"a": 0.5}
+
+    def test_unreadable_and_empty_snapshots_are_skipped(self, tmp_path):
+        _snapshot(tmp_path, "20260101-000000", {"a": 0.5})
+        (tmp_path / "BENCH_20260102-000000.json").write_text("{not json")
+        (tmp_path / "BENCH_20260103-000000.json").write_text(
+            json.dumps({"benchmarks": []})
+        )
+        points = load_trajectory(tmp_path)
+        assert len(points) == 1
+
+    def test_malformed_stats_rows_are_dropped(self, tmp_path):
+        (tmp_path / "BENCH_20260101-000000.json").write_text(json.dumps({
+            "benchmarks": [
+                {"name": "good", "stats": {"mean": 0.2}},
+                {"name": "no-stats"},
+                {"name": "bad-mean", "stats": {"mean": "slow"}},
+            ],
+        }))
+        [point] = load_trajectory(tmp_path)
+        assert point.means == {"good": 0.2}
+
+    def test_no_snapshots_is_an_error(self, tmp_path):
+        with pytest.raises(ExperimentError, match="BENCH_"):
+            load_trajectory(tmp_path)
+
+    def test_odd_filename_stamp_is_kept_verbatim(self, tmp_path):
+        _snapshot(tmp_path, "custom", {"a": 1.0})
+        [point] = load_trajectory(tmp_path)
+        assert point.stamp == "custom"
+
+
+class TestTrajectoryTable:
+    def _points(self):
+        return [
+            BenchPoint(stamp="0101-0900", means={"alpha": 0.5, "beta": 2.0}),
+            BenchPoint(stamp="0201-0900", means={"alpha": 0.25}),
+        ]
+
+    def test_rows_union_names_and_mark_gaps(self):
+        headers, rows = trajectory_table(self._points())
+        assert headers == ["benchmark", "0101-0900", "0201-0900"]
+        assert rows == [
+            ["alpha", "2.00/s", "4.00/s"],
+            ["beta", "0.5000/s", "—"],  # beta never ran in snapshot 2
+        ]
+
+    def test_filter_is_case_insensitive_substring(self):
+        _, rows = trajectory_table(self._points(), pattern="ALPH")
+        assert [r[0] for r in rows] == ["alpha"]
+
+    def test_last_keeps_newest_snapshots(self):
+        headers, rows = trajectory_table(self._points(), last=1)
+        assert headers == ["benchmark", "0201-0900"]
+        assert rows == [["alpha", "4.00/s"]]  # beta's row drops entirely
+
+    def test_no_matching_benchmark_is_an_error(self):
+        with pytest.raises(ExperimentError, match="zeta"):
+            trajectory_table(self._points(), pattern="zeta")
+
+    def test_fast_benchmarks_render_integral_ops(self):
+        _, rows = trajectory_table(
+            [BenchPoint(stamp="s", means={"fast": 0.001})]
+        )
+        assert rows == [["fast", "1000/s"]]

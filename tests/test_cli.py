@@ -84,6 +84,27 @@ class TestParser:
         )
         assert args.fabric == "drop(0.05)+delay(exp,0.2)"
 
+    def test_shards_and_fleet_mode_parse(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.shards == 1 and args.fleet_mode is False
+        args = build_parser().parse_args(
+            ["compare", "--fleet-mode", "--shards", "4"]
+        )
+        assert args.shards == 4 and args.fleet_mode is True
+        args = build_parser().parse_args(
+            ["sweep", "--fleet-mode", "--shards", "2"]
+        )
+        assert args.shards == 2 and args.fleet_mode is True
+
+    def test_bench_report_flags_parse(self):
+        args = build_parser().parse_args(["bench-report"])
+        assert args.dir == "benchmarks"
+        assert args.filter is None and args.last is None
+        args = build_parser().parse_args(
+            ["bench-report", "--dir", "x", "--filter", "fleet", "--last", "3"]
+        )
+        assert args.dir == "x" and args.filter == "fleet" and args.last == 3
+
     def test_tenant_weights_parse(self):
         args = build_parser().parse_args(
             ["compare", "--tenant-weights", "interactive=4", "batch=1"]
@@ -224,6 +245,60 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "itval=20" in captured.out
         assert "cumulative" in captured.err
+
+    def test_compare_sharded_matches_serial(self, capsys):
+        # The sharded run is pinned bit-identical, so the rendered
+        # comparison must be byte-for-byte the serial one.
+        assert main(["compare", "--jobs", "3", "--seed", "1",
+                     "--workers", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1", "--workers", "2",
+            "--fleet-mode", "--shards", "2",
+        ]) == 0
+        assert capsys.readouterr().out == serial
+        assert "wins" in serial
+
+    def test_nonpositive_shards_is_a_clean_cli_error(self, capsys):
+        assert main([
+            "compare", "--jobs", "3", "--seed", "1", "--shards", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "shards" in err
+
+    def test_shards_without_fleet_mode_is_a_clean_cli_error(self, capsys):
+        # --shards > 1 slices the fused arena; composing it with the
+        # serial sampling path must fail loudly, not silently degrade.
+        assert main([
+            "sweep", "--alphas", "0.05", "--itvals", "20", "--seed", "1",
+            "--shards", "4",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "fleet_mode" in err and "--fleet-mode" in err
+
+    def test_bench_report_renders_trajectory(self, tmp_path, capsys):
+        import json
+
+        for stamp, mean in (("20260101-000000", 0.5),
+                            ("20260202-000000", 0.25)):
+            (tmp_path / f"BENCH_{stamp}.json").write_text(json.dumps({
+                "benchmarks": [
+                    {"name": "test_speed", "stats": {"mean": mean}},
+                ],
+            }))
+        assert main(["bench-report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark trajectory — 2 snapshots" in out
+        assert "test_speed" in out
+        assert "2.00/s" in out and "4.00/s" in out  # 1/mean per column
+
+    def test_bench_report_empty_dir_is_a_clean_cli_error(
+        self, tmp_path, capsys
+    ):
+        assert main(["bench-report", "--dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "BENCH_" in err
 
     def test_compare_with_wfq_tenants(self, capsys):
         assert main([
